@@ -1,0 +1,25 @@
+"""Ablation: sender-side vs receiver-side loop detection in BGP.
+
+The paper's implementation discards looping paths at the receiver; SSLD
+filters them at the sender.  Routes chosen are identical, but SSLD saves the
+messages the receiver would discard.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import ablation_ssld
+
+from conftest import run_once
+
+
+def test_ablation_ssld(benchmark, config):
+    out = run_once(benchmark, ablation_ssld, config.with_(runs=4), 4)
+    print("\nSSLD ablation (BGP-3, degree 4)")
+    print(f"  {'protocol':>10} {'messages':>9} {'drops':>7} {'conv(s)':>8}")
+    for protocol, row in out.items():
+        print(
+            f"  {protocol:>10} {row['messages']:>9.1f} "
+            f"{row['drops_no_route'] + row['drops_ttl']:>7.1f} "
+            f"{row['routing_convergence']:>8.2f}"
+        )
+    assert out["bgp3-ssld"]["messages"] <= out["bgp3"]["messages"]

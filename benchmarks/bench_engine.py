@@ -1,0 +1,91 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These time the building blocks the figure benchmarks stand on: raw event
+throughput, packet forwarding through the mesh, protocol warm starts, and a
+complete scenario run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import run_scenario
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.topology.graph import all_shortest_path_trees
+from repro.topology.mesh import regular_mesh
+
+
+def test_event_throughput(benchmark):
+    """Schedule+run 100k trivial events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+def test_packet_forwarding_rate(benchmark):
+    """Push 2000 packets across a 7x7 degree-4 mesh diagonal."""
+    topo = regular_mesh(7, 7, 4)
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, topo)
+        trees = all_shortest_path_trees(topo)
+        for node in net.iter_nodes():
+            path = trees[node.id].get(48)
+            if path and len(path) > 1:
+                node.set_next_hop(48, path[1])
+        for i in range(2000):
+            sim.schedule_at(
+                i * 0.001,
+                lambda: net.node(0).originate(Packet(src=0, dst=48, size_bytes=64)),
+            )
+        sim.run()
+        return net.node(48).delivered
+
+    delivered = benchmark(run)
+    assert delivered == 2000
+
+
+def test_warm_start_cost(benchmark):
+    """Warm-start a full BGP mesh (49 speakers) on the 7x7 degree-6 mesh."""
+    from repro.routing.bgp import BgpConfig, BgpProtocol
+    from repro.sim.rng import RngStreams
+
+    topo = regular_mesh(7, 7, 6)
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, topo)
+        rng = RngStreams(1)
+        net.attach_protocols(
+            lambda node: BgpProtocol(node, rng, net, BgpConfig.standard())
+        )
+        for node in net.iter_nodes():
+            node.protocol.warm_start(topo)
+        return sum(len(n.fib) for n in net.iter_nodes())
+
+    fib_entries = benchmark(run)
+    assert fib_entries == 49 * 48
+
+
+def test_scenario_run_cost(benchmark):
+    """One complete DBF scenario at paper topology scale."""
+    cfg = ExperimentConfig.quick().with_(runs=1, post_fail_window=40.0)
+    result = benchmark.pedantic(
+        run_scenario, args=("dbf", 4, 1, cfg), rounds=1, iterations=1
+    )
+    assert result.delivered > 0

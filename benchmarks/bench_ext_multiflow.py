@@ -1,0 +1,28 @@
+"""Extension (paper §6): multiple flows with overlapping failures.
+
+Three concurrent sender/receiver pairs, two staggered on-path failures whose
+convergence periods overlap.  Aggregate and worst-flow delivery ratios per
+protocol.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import extension_multiflow
+
+from conftest import run_once
+
+
+def test_extension_multiflow(benchmark, config):
+    out = run_once(
+        benchmark, extension_multiflow, config.with_(runs=3), 4, 3, 2
+    )
+    print("\nMulti-flow extension (3 flows, 2 overlapping failures, degree 4)")
+    print(f"  {'protocol':>9} {'delivery':>9} {'worst flow':>11} {'drops':>7}")
+    for protocol, row in out.items():
+        print(
+            f"  {protocol:>9} {row['delivery_ratio']:>9.3f} "
+            f"{row['worst_flow_ratio']:>11.3f} {row['convergence_drops']:>7.1f}"
+        )
+    assert out["dbf"]["delivery_ratio"] >= out["rip"]["delivery_ratio"]
+    for row in out.values():
+        assert 0.0 <= row["worst_flow_ratio"] <= row["delivery_ratio"] + 1e-9

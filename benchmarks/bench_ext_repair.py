@@ -1,0 +1,49 @@
+"""Extension: link restoration (the unexamined half of convergence).
+
+After the failed link comes back, routing should migrate to a
+shortest-length path again.  SPF restores instantly on the LSA flood; BGP's
+re-announcements ride MRAI; RIP and DUAL legitimately keep an equal-cost
+detour (neither switches on ties).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import run_repair_scenario
+
+from conftest import run_once
+
+PROTOCOLS = ("rip", "dbf", "dual", "bgp3", "bgp", "spf")
+
+
+def _run_all(config, seeds=(1, 2)):
+    out = {}
+    for protocol in PROTOCOLS:
+        restored, delivery = [], []
+        for seed in seeds:
+            r = run_repair_scenario(protocol, 4, seed, config, repair_after=15.0)
+            if r.restoration_convergence is not None:
+                restored.append(r.restoration_convergence)
+            delivery.append(r.delivery_ratio)
+        out[protocol] = {
+            "restoration": sum(restored) / len(restored) if restored else None,
+            "back": len(restored) / len(seeds),
+            "delivery": sum(delivery) / len(delivery),
+        }
+    return out
+
+
+def test_extension_repair(benchmark, config):
+    out = run_once(benchmark, _run_all, config.with_(post_fail_window=50.0))
+    print("\nRepair extension (degree 4, fail at t=0, repair at t=15)")
+    print(f"  {'proto':>6} {'restored':>9} {'restore(s)':>11} {'delivery':>9}")
+    for protocol in PROTOCOLS:
+        row = out[protocol]
+        rest = f"{row['restoration']:.2f}" if row["restoration"] is not None else "-"
+        print(
+            f"  {protocol:>6} {row['back']:>9.0%} {rest:>11} {row['delivery']:>9.3f}"
+        )
+    # Everyone ends on a shortest-length path.
+    for protocol in PROTOCOLS:
+        assert out[protocol]["back"] == 1.0
+    # SPF's restoration is never slower than BGP's (flooding vs MRAI).
+    assert out["spf"]["restoration"] <= out["bgp"]["restoration"] + 1e-9

@@ -1,0 +1,33 @@
+"""Extension: larger network sizes (paper §6's first future-work step).
+
+Sweeps the mesh side length at fixed degree 4.  RIP's convergence loss is
+clocked by its periodic interval, not by network size; the alternate-path
+protocol's delivery stays high at every size because recovery is local.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import extension_scale
+
+from conftest import run_once
+
+SIZES = ((5, 5), (7, 7), (10, 10))
+
+
+def test_extension_scale(benchmark, config):
+    out = run_once(
+        benchmark, extension_scale, config.with_(runs=2), SIZES, 4,
+        ("rip", "dbf", "bgp3"),
+    )
+    print("\nScale extension (degree 4): mesh size sweep")
+    print(f"  {'proto':>6} {'nodes':>6} {'drops':>7} {'delivery':>9} {'conv(s)':>8}")
+    for (protocol, n), row in sorted(out.items()):
+        print(
+            f"  {protocol:>6} {n:>6} {row['drops_no_route']:>7.1f} "
+            f"{row['delivery_ratio']:>9.3f} {row['routing_convergence']:>8.2f}"
+        )
+    for rows, cols in SIZES:
+        n = rows * cols
+        # RIP always the worst; alternate-path protocols deliver >95% at any size.
+        assert out[("rip", n)]["drops_no_route"] >= out[("dbf", n)]["drops_no_route"]
+        assert out[("dbf", n)]["delivery_ratio"] > 0.9

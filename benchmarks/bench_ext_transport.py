@@ -1,0 +1,25 @@
+"""Extension (paper §6): end-to-end reliable transport through convergence.
+
+A window/timeout transfer spans the failure; the stall penalty versus a
+failure-free baseline translates the paper's IP-layer delivery gap into
+end-to-end terms (RIP's ~periodic-interval gap becomes a tens-of-seconds
+stall; the alternate-path protocols cost ~a retransmission timeout).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import extension_transport
+
+from conftest import run_once
+
+
+def test_extension_transport(benchmark, config):
+    out = run_once(
+        benchmark, extension_transport, config.with_(runs=2), 4, 8000
+    )
+    print("\nTransport extension (8000-segment transfer, failure mid-stream)")
+    print(f"  {'protocol':>9} {'stall (s)':>10} {'retx':>7}")
+    for protocol, row in out.items():
+        print(f"  {protocol:>9} {row['stall_penalty']:>10.2f} {row['retransmissions']:>7.1f}")
+    assert out["rip"]["stall_penalty"] >= out["dbf"]["stall_penalty"]
+    assert out["dbf"]["stall_penalty"] < 5.0

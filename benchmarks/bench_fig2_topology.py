@@ -1,0 +1,21 @@
+"""Figure 2: the Baran regular-mesh topology family (degrees 4/5/6)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure2_topologies
+
+from conftest import run_once
+
+
+def test_figure2_topologies(benchmark):
+    out = run_once(benchmark, figure2_topologies, 7, 7, (4, 5, 6))
+    print("\nFigure 2: regular 7x7 meshes")
+    for degree, info in sorted(out.items()):
+        print(
+            f"  degree {degree}: {info['n_nodes']} nodes, {info['n_links']} links, "
+            f"degree histogram {sorted(info['degree_histogram'].items())}"
+        )
+    assert set(out) == {4, 5, 6}
+    assert all(info["connected"] for info in out.values())
+    # Richer meshes have strictly more links (the paper's redundancy knob).
+    assert out[4]["n_links"] < out[5]["n_links"] < out[6]["n_links"]

@@ -1,0 +1,24 @@
+"""Routing-message overhead during convergence (related work [28]'s metric).
+
+RIP/DBF pay a steady periodic-update tax plus triggered bursts; BGP variants
+send only on change, so their counts isolate the convergence traffic itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import overhead_sweep
+from repro.experiments.report import format_sweep_table
+
+from conftest import run_once
+
+
+def test_overhead_sweep(benchmark, config):
+    table = run_once(benchmark, overhead_sweep, config)
+    print("\n" + format_sweep_table(table, precision=0))
+    for degree in config.degrees:
+        # Periodic protocols dominate the message count at every degree.
+        assert table.value("rip", degree) > table.value("bgp3", degree)
+        # Richer meshes mean more adjacencies, hence more periodic traffic.
+    assert table.value("rip", max(config.degrees)) > table.value(
+        "rip", min(config.degrees)
+    ) * 0.5  # sanity: same order of magnitude

@@ -1,0 +1,35 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one figure of the paper (rows/series printed to
+stdout) and times the full experiment harness.  ``BENCH_CONFIG`` keeps the
+paper's topology scale (7x7 mesh) and authentic protocol timers while using
+fewer seeds than the paper's 10 so the whole suite runs in minutes; set
+``REPRO_PAPER_SCALE=1`` to run the full 10-seed, degree-3..8 configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def bench_config() -> ExperimentConfig:
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return ExperimentConfig.paper()
+    # 4 seeds: enough to sample the loop-forming failure layouts at degree 5
+    # (the Figure 4 signal) while keeping the suite to a few minutes.
+    return ExperimentConfig.quick().with_(runs=4, post_fail_window=60.0)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full harness invocation (no warmup repeats — these are
+    minutes-long experiment sweeps, not microbenchmarks)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

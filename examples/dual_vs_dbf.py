@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Loop freedom vs instant switch-over: DUAL against DBF (paper §6 / [6]).
+
+DBF keeps alternate paths and switches the moment a failure is detected —
+but its alternates are unverified, so transient loops are possible.  DUAL
+(Garcia-Luna-Aceves' diffusing update algorithm) only ever switches to a
+*feasible* successor and freezes the route through a diffusing computation
+otherwise — provably loop-free, at the price of unreachability during the
+diffusion.  This example measures both sides of the bargain.
+
+Run:  python examples/dual_vs_dbf.py
+"""
+
+from repro import ExperimentConfig
+from repro.experiments import run_point
+
+
+def main() -> None:
+    config = ExperimentConfig.quick().with_(runs=4, post_fail_window=60.0)
+    print("Single link failure on the active path, 7x7 mesh, 4 seeds/point\n")
+    print(f"{'proto':>6} {'deg':>4} {'ttl(loops)':>11} {'no_route':>9} "
+          f"{'conv(s)':>8} {'delivery':>9}")
+    for protocol in ("dbf", "dual"):
+        for degree in (3, 4, 5, 6):
+            p = run_point(protocol, degree, config)
+            print(
+                f"{protocol:>6} {degree:>4} {p.mean_drops_ttl:>11.1f} "
+                f"{p.mean_drops_no_route:>9.1f} {p.mean_routing_convergence:>8.2f} "
+                f"{p.mean_delivery_ratio:>9.3f}"
+            )
+    print(
+        "\nDUAL's column of zero TTL deaths is its provable guarantee; its\n"
+        "no-route drops are packets caught in a frozen route during a\n"
+        "diffusing computation.  On this fast mesh the diffusions finish in\n"
+        "milliseconds, so the paper's 'high cost' criticism of [6] applies\n"
+        "to slower, wider networks — the harness lets you test exactly that\n"
+        "by scaling link delay in the topology."
+    )
+
+
+if __name__ == "__main__":
+    main()

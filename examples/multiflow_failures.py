@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Multiple flows, overlapping failures (paper §6 future work).
+
+Three sender/receiver pairs stream simultaneously; two links fail five
+seconds apart so the second failure lands while the network is still
+converging from the first.  Per-flow and aggregate delivery show how each
+protocol's convergence machinery copes with compounded churn.
+
+Run:  python examples/multiflow_failures.py
+"""
+
+from repro import ExperimentConfig
+from repro.experiments import run_multiflow_scenario
+
+
+def main() -> None:
+    config = ExperimentConfig.quick().with_(post_fail_window=60.0)
+    seeds = (1, 2, 3)
+    print("3 flows, 2 overlapping failures (5 s apart), degree-4 mesh\n")
+    print(f"{'proto':>6} {'delivery':>9} {'worst flow':>11} {'no_route':>9} {'ttl':>6}")
+    for protocol in ("rip", "dbf", "dual", "bgp", "bgp3"):
+        ratios, worst, nr, ttl = [], [], 0, 0
+        for seed in seeds:
+            r = run_multiflow_scenario(
+                protocol, 4, seed, config, n_flows=3, n_failures=2
+            )
+            ratios.append(r.delivery_ratio)
+            worst.append(r.worst_flow_ratio)
+            nr += r.drops_no_route
+            ttl += r.drops_ttl
+        n = len(seeds)
+        print(
+            f"{protocol:>6} {sum(ratios)/n:>9.3f} {sum(worst)/n:>11.3f} "
+            f"{nr/n:>9.1f} {ttl/n:>6.1f}"
+        )
+    print(
+        "\nThe worst-flow column matters most: aggregate ratios hide a flow\n"
+        "that blackholed for its whole convergence period."
+    )
+
+
+if __name__ == "__main__":
+    main()

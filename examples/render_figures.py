@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as SVG files.
+
+Runs the figure harnesses at example scale and writes one SVG per figure
+into ``./figures/`` (created if missing).  Pass ``--paper-scale`` for the
+full 10-seed sweep (slow).
+
+Run:  python examples/render_figures.py [--paper-scale] [--out DIR]
+"""
+
+import argparse
+import os
+
+from repro import ExperimentConfig
+from repro.experiments import (
+    figure3_drops_no_route,
+    figure4_ttl_expirations,
+    figure5_throughput,
+    figure6_convergence,
+    figure7_delay,
+    save_svg,
+    series_chart,
+    sweep_chart,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--out", default="figures")
+    args = parser.parse_args()
+
+    config = (
+        ExperimentConfig.paper()
+        if args.paper_scale
+        else ExperimentConfig.quick().with_(runs=4, post_fail_window=60.0)
+    )
+    os.makedirs(args.out, exist_ok=True)
+
+    def emit(name: str, svg: str) -> None:
+        path = os.path.join(args.out, name)
+        save_svg(svg, path)
+        print(f"wrote {path}")
+
+    print("Figure 3 (drops vs degree) ...")
+    emit(
+        "figure3_drops.svg",
+        sweep_chart(figure3_drops_no_route(config), ylabel="packet drops (no route)"),
+    )
+
+    print("Figure 4 (TTL expirations vs degree) ...")
+    emit(
+        "figure4_ttl.svg",
+        sweep_chart(figure4_ttl_expirations(config), ylabel="TTL expirations"),
+    )
+
+    print("Figure 5 (throughput vs time) ...")
+    degrees = tuple(d for d in (3, 4, 6) if d in config.degrees)
+    emit(
+        "figure5_throughput.svg",
+        series_chart(
+            figure5_throughput(config, degrees),
+            title="Figure 5: instantaneous throughput (failure at t=0)",
+            ylabel="packets/second",
+            t_min=-5,
+            t_max=50,
+        ),
+    )
+
+    print("Figure 6 (convergence vs degree) ...")
+    fwd, rt = figure6_convergence(config)
+    emit("figure6a_forwarding.svg", sweep_chart(fwd, ylabel="seconds"))
+    emit("figure6b_routing.svg", sweep_chart(rt, ylabel="seconds"))
+
+    print("Figure 7 (delay vs time) ...")
+    degrees = tuple(d for d in (4, 5, 6) if d in config.degrees)
+    emit(
+        "figure7_delay.svg",
+        series_chart(
+            figure7_delay(config, degrees),
+            title="Figure 7: instantaneous packet delay (failure at t=0)",
+            ylabel="seconds",
+            t_min=-5,
+            t_max=50,
+        ),
+    )
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""A full fail-and-repair cycle: the unexamined half of convergence.
+
+The paper studies what happens after a failure; this example also watches
+the restoration: 15 seconds after the failure the link comes back, and each
+protocol migrates (or legitimately declines to migrate) back to a
+shortest-length path.
+
+Run:  python examples/repair_cycle.py
+"""
+
+from repro import ExperimentConfig
+from repro.experiments import run_repair_scenario
+
+
+def main() -> None:
+    config = ExperimentConfig.quick().with_(post_fail_window=60.0)
+    print("Degree-4 mesh: fail a live-path link at t=0, repair it at t=15\n")
+    print(f"{'proto':>6} {'delivery':>9} {'back on shortest':>17} {'restore(s)':>11}")
+    for protocol in ("rip", "dbf", "dual", "bgp3", "bgp", "spf"):
+        r = run_repair_scenario(protocol, degree=4, seed=1, config=config,
+                                repair_after=15.0)
+        restore = (
+            f"{r.restoration_convergence:.2f}"
+            if r.restoration_convergence is not None
+            else "never"
+        )
+        print(
+            f"{protocol:>6} {r.delivery_ratio:>9.3f} "
+            f"{str(r.back_on_shortest_path):>17} {restore:>11}"
+        )
+    print(
+        "\nSPF restores the moment the LSA flood lands; BGP's re-announcement\n"
+        "rides its ~30 s MRAI; RIP and DUAL may keep an equal-cost detour\n"
+        "(neither switches on ties) — which counts as restored, since the\n"
+        "path length is back to the pre-failure optimum."
+    )
+
+
+if __name__ == "__main__":
+    main()

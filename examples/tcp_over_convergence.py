@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""End-to-end transport through routing convergence (paper §6 future work).
+
+A window/timeout reliable transfer (the paper's [25]-style flow model) runs
+across the degree-4 mesh while a link on its path fails.  The IP-layer
+delivery gap each routing protocol leaves becomes an end-to-end stall:
+RIP's ~periodic-interval blackhole costs tens of seconds and a burst of
+retransmissions; DBF and BGP-3 cost roughly one retransmission timeout.
+
+Run:  python examples/tcp_over_convergence.py
+"""
+
+from repro import ExperimentConfig
+from repro.experiments import transport_with_baseline
+
+
+def main() -> None:
+    config = ExperimentConfig.quick()
+    segments = 8000  # long enough that the transfer straddles the failure
+
+    print(f"Transferring {segments} segments across a failing degree-4 mesh\n")
+    print(f"{'protocol':>9} {'done(s)':>9} {'baseline':>9} {'stall':>7} {'retx':>6} {'timeouts':>9}")
+    for protocol in ("rip", "dbf", "bgp3", "bgp"):
+        r = transport_with_baseline(protocol, degree=4, seed=1, config=config,
+                                    total_segments=segments)
+        done = r.stats.completed_at or float("nan")
+        base = r.baseline_completion or float("nan")
+        stall = r.stall_penalty if r.stall_penalty is not None else float("nan")
+        print(
+            f"{protocol:>9} {done:>9.1f} {base:>9.1f} {stall:>7.1f} "
+            f"{r.stats.retransmissions:>6} {r.stats.timeouts:>9}"
+        )
+    print(
+        "\nThe stall column is the end-to-end cost of the convergence gap:\n"
+        "alternate-path protocols (DBF/BGP/BGP-3) hide the failure almost\n"
+        "entirely; RIP exposes its wait for the next periodic update."
+    )
+
+
+if __name__ == "__main__":
+    main()

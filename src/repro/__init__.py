@@ -1,0 +1,75 @@
+"""repro — packet delivery performance during routing convergence.
+
+A full reproduction of Pei, Wang, Massey, Wu & Zhang, "A Study of Packet
+Delivery Performance during Routing Convergence" (DSN 2003): a packet-level
+discrete-event network simulator, the three routing protocols the paper
+studies (RIP, DBF, BGP — plus the fast-MRAI BGP-3 variant and a link-state
+SPF extension), the Baran-style regular mesh topology family, and the
+measurement/experiment harness that regenerates every figure in the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import run_scenario, ExperimentConfig
+
+    result = run_scenario("dbf", degree=4, seed=1, config=ExperimentConfig.quick())
+    print(result.drops_no_route, result.forwarding_convergence)
+"""
+
+from .experiments import (
+    ExperimentConfig,
+    PointResult,
+    ScenarioResult,
+    run_point,
+    run_scenario,
+    run_sweep,
+)
+from .net import FailureInjector, Network, Packet
+from .routing import (
+    BgpConfig,
+    BgpProtocol,
+    DampingConfig,
+    DbfProtocol,
+    DistanceVectorConfig,
+    DualProtocol,
+    RipProtocol,
+    SpfConfig,
+    SpfProtocol,
+    StaticProtocol,
+)
+from .sim import RngStreams, Simulator, TraceBus
+from .topology import Topology, regular_mesh
+from .traffic import CbrSource, FlowSpec, PacketSink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "RngStreams",
+    "TraceBus",
+    "Topology",
+    "regular_mesh",
+    "Network",
+    "Packet",
+    "FailureInjector",
+    "RipProtocol",
+    "DbfProtocol",
+    "DualProtocol",
+    "BgpProtocol",
+    "BgpConfig",
+    "DampingConfig",
+    "SpfProtocol",
+    "SpfConfig",
+    "StaticProtocol",
+    "DistanceVectorConfig",
+    "CbrSource",
+    "FlowSpec",
+    "PacketSink",
+    "ExperimentConfig",
+    "ScenarioResult",
+    "PointResult",
+    "run_scenario",
+    "run_point",
+    "run_sweep",
+]

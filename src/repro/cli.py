@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+Exposes the experiment harness without writing Python::
+
+    python -m repro run --protocol dbf --degree 4 --seed 1
+    python -m repro figure 3                  # reproduce Figure 3's table
+    python -m repro figure 5 --degrees 3 4 6  # throughput series
+    python -m repro sweep --protocols rip dbf --degrees 3 4 5 6
+    python -m repro topology --degree 5       # inspect a mesh
+
+Use ``--paper-scale`` for the full 10-seed configuration; the default is the
+reduced quick profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments.config import PROTOCOL_NAMES, ExperimentConfig
+from .experiments import figures as fig
+from .experiments.report import format_series_grid, format_sweep_table
+from .experiments.runner import run_sweep
+from .experiments.scenario import run_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Packet delivery performance during routing convergence (DSN 2003)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full 10-seed, degree 3-8 configuration (slow)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario and print its outcome")
+    run_p.add_argument("--protocol", choices=PROTOCOL_NAMES, default="dbf")
+    run_p.add_argument("--degree", type=int, default=4)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--rate", type=float, help="packets/second")
+
+    fig_p = sub.add_parser("figure", help="reproduce one paper figure")
+    fig_p.add_argument("number", type=int, choices=(2, 3, 4, 5, 6, 7))
+    fig_p.add_argument("--degrees", type=int, nargs="+", help="degrees to include")
+    fig_p.add_argument("--runs", type=int, help="seeds per data point")
+
+    sweep_p = sub.add_parser("sweep", help="full protocol x degree sweep")
+    sweep_p.add_argument("--protocols", nargs="+", choices=PROTOCOL_NAMES)
+    sweep_p.add_argument("--degrees", type=int, nargs="+")
+    sweep_p.add_argument("--runs", type=int)
+    sweep_p.add_argument("--workers", type=int, default=1, help="process pool size")
+    sweep_p.add_argument("--save", metavar="FILE", help="write results as JSON")
+
+    topo_p = sub.add_parser("topology", help="inspect a regular mesh")
+    topo_p.add_argument("--degree", type=int, default=4)
+    topo_p.add_argument("--rows", type=int, default=7)
+    topo_p.add_argument("--cols", type=int, default=7)
+
+    repro_p = sub.add_parser(
+        "reproduce", help="regenerate every figure into an output directory"
+    )
+    repro_p.add_argument("--out", default="reproduction")
+    repro_p.add_argument("--runs", type=int)
+    repro_p.add_argument("--degrees", type=int, nargs="+")
+
+    narrate_p = sub.add_parser(
+        "narrate", help="annotated timeline of one convergence event"
+    )
+    narrate_p.add_argument("--protocol", choices=PROTOCOL_NAMES, default="dbf")
+    narrate_p.add_argument("--degree", type=int, default=4)
+    narrate_p.add_argument("--seed", type=int, default=1)
+    narrate_p.add_argument("--window", type=float, default=60.0,
+                           help="seconds observed after the failure")
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.paper() if args.paper_scale else ExperimentConfig.quick()
+    overrides = {}
+    if getattr(args, "degrees", None):
+        overrides["degrees"] = tuple(args.degrees)
+    if getattr(args, "runs", None):
+        overrides["runs"] = args.runs
+    if getattr(args, "protocols", None):
+        overrides["protocols"] = tuple(args.protocols)
+    if getattr(args, "rate", None):
+        overrides["rate_pps"] = args.rate
+    return config.with_(**overrides) if overrides else config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args)
+    r = run_scenario(args.protocol, args.degree, args.seed, config)
+    print(f"protocol={r.protocol} degree={r.degree} seed={r.seed}")
+    print(f"pre-failure path: {' -> '.join(map(str, r.pre_failure_path))}")
+    print(f"failed link: {r.failed_link}")
+    print(
+        f"sent={r.sent} delivered={r.delivered} ({r.delivery_ratio:.1%}) "
+        f"no_route={r.drops_no_route} ttl={r.drops_ttl} "
+        f"link_down={r.drops_link_down} queue={r.drops_queue}"
+    )
+    print(
+        f"forwarding convergence={r.forwarding_convergence:.3f}s "
+        f"routing convergence={r.routing_convergence:.3f}s "
+        f"converged_to_expected={r.converged_to_expected}"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = _config(args)
+    n = args.number
+    if n == 2:
+        out = fig.figure2_topologies()
+        for degree, info in sorted(out.items()):
+            print(
+                f"degree {degree}: {info['n_nodes']} nodes, {info['n_links']} links, "
+                f"histogram {sorted(info['degree_histogram'].items())}"
+            )
+        return 0
+    if n == 3:
+        print(format_sweep_table(fig.figure3_drops_no_route(config)))
+        return 0
+    if n == 4:
+        print(format_sweep_table(fig.figure4_ttl_expirations(config)))
+        return 0
+    if n == 5:
+        degrees = tuple(args.degrees) if args.degrees else (3, 4, 6)
+        series = fig.figure5_throughput(config, degrees)
+        print(
+            format_series_grid(
+                series, "Figure 5: throughput (pkt/s), failure at t=0",
+                t_min=-5, t_max=min(50, config.post_fail_window - 10), step=5,
+            )
+        )
+        return 0
+    if n == 6:
+        fwd, rt = fig.figure6_convergence(config)
+        print(format_sweep_table(fwd, precision=2))
+        print()
+        print(format_sweep_table(rt, precision=2))
+        return 0
+    if n == 7:
+        degrees = tuple(args.degrees) if args.degrees else (4, 5, 6)
+        series = fig.figure7_delay(config, degrees)
+        print(
+            format_series_grid(
+                series, "Figure 7: packet delay (s), failure at t=0",
+                t_min=-5, t_max=min(50, config.post_fail_window - 10), step=5,
+                precision=4,
+            )
+        )
+        return 0
+    raise AssertionError(f"unhandled figure {n}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config(args)
+    results = run_sweep(config, workers=getattr(args, "workers", 1))
+    if getattr(args, "save", None):
+        from .experiments.persistence import save_points
+
+        save_points(results, args.save)
+        print(f"results written to {args.save}")
+    print(
+        f"{'protocol':>9} {'degree':>7} {'drops(no_route)':>16} {'ttl':>6} "
+        f"{'fwd_conv(s)':>12} {'rt_conv(s)':>11} {'delivery':>9}"
+    )
+    for (protocol, degree), point in sorted(results.items()):
+        print(
+            f"{protocol:>9} {degree:>7} {point.mean_drops_no_route:>16.1f} "
+            f"{point.mean_drops_ttl:>6.1f} {point.mean_forwarding_convergence:>12.2f} "
+            f"{point.mean_routing_convergence:>11.2f} {point.mean_delivery_ratio:>9.3f}"
+        )
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from .topology.mesh import interior_nodes, regular_mesh
+    from .topology.render import render_mesh
+    from .topology.validate import degree_histogram
+
+    topo = regular_mesh(args.rows, args.cols, args.degree)
+    interior = interior_nodes(topo, args.rows, args.cols)
+    print(f"{topo.name}: {topo.n_nodes} nodes, {topo.n_links} links")
+    print(f"interior nodes: {len(interior)} (degree {args.degree})")
+    print(f"degree histogram: {sorted(degree_histogram(topo).items())}")
+    print(f"connected: {topo.is_connected()}")
+    print()
+    print(render_mesh(topo, args.rows, args.cols))
+    return 0
+
+
+def _cmd_narrate(args: argparse.Namespace) -> int:
+    from .experiments.scenario import _pick_endpoints, _pick_failed_link
+    from .metrics.convergence import ConvergenceTracker
+    from .metrics.narrate import build_timeline, format_timeline
+    from .net.failure import FailureInjector
+    from .net.network import Network
+    from .experiments.scenario import make_protocol_factory
+    from .sim.engine import Simulator
+    from .sim.rng import RngStreams
+    from .sim.tracing import TraceBus
+    from .topology.generators import attach_host
+    from .topology.mesh import regular_mesh
+    from .topology.render import render_mesh
+
+    config = _config(args)
+    rng_streams = RngStreams(args.seed)
+    scenario_rng = rng_streams.stream("scenario")
+    topo = regular_mesh(config.rows, config.cols, args.degree)
+    sr, rr = _pick_endpoints(scenario_rng, config.rows, config.cols)
+    sender = attach_host(topo, sr)
+    receiver = attach_host(topo, rr)
+    pre = topo.shortest_path(sender, receiver)
+    assert pre is not None
+    failed = _pick_failed_link(scenario_rng, pre, sender, receiver)
+
+    print(f"protocol={args.protocol} degree={args.degree} seed={args.seed}")
+    print(f"flow: host {sender} -> host {receiver}; failing {failed} at t=10\n")
+    print(render_mesh(topo, config.rows, config.cols, failed_link=failed))
+
+    sim = Simulator()
+    bus = TraceBus(keep_routes=True)
+    net = Network(sim, topo, bus)
+    net.attach_protocols(
+        make_protocol_factory(args.protocol, net, rng_streams, topo, config)
+    )
+    for node in net.iter_nodes():
+        assert node.protocol is not None
+        node.protocol.warm_start(topo)
+    tracker = ConvergenceTracker(bus, dest=receiver, src=sender)
+    tracker.seed_from_network(net)
+    FailureInjector(sim, net, detection_delay=config.detection_delay).fail_link(
+        *failed, at=10.0
+    )
+    sim.run(until=10.0 + args.window)
+    events = build_timeline(
+        route_changes=bus.route_changes,
+        link_events=bus.link_events,
+        snapshots=tracker.snapshots,
+        dest=receiver,
+        since=9.9,
+    )
+    print(f"\nTimeline (t=0 at failure; route events for destination {receiver}):\n")
+    print(format_timeline(events, origin=10.0))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.campaign import reproduce
+
+    config = _config(args)
+    report = reproduce(config, out_dir=args.out, progress=True)
+    print(f"\nreport: {report.path('REPORT.md')}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
+        "topology": _cmd_topology,
+        "narrate": _cmd_narrate,
+        "reproduce": _cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Experiment configuration.
+
+Two profiles:
+
+* ``ExperimentConfig.paper()`` — the paper's setup: 7x7 mesh, degrees 3-8,
+  10 runs per point, 100 pkt/s CBR, 70 s post-failure observation (covers
+  RIP's 30 s periodic recovery and BGP's ~30 s MRAI loops).
+* ``ExperimentConfig.quick()`` — same protocol timers (those are the physics
+  under study), but fewer runs/degrees and a lighter packet rate, for tests
+  and benchmarks.
+
+Timeline (warm-started runs): protocols are installed converged at t=0,
+traffic starts at ``traffic_start``, the failure fires at ``fail_time``, and
+the run ends at ``fail_time + post_fail_window``.  All reported series are
+normalized so the failure is at t=0.
+
+Note on the distance-vector infinity: the RFC value 16 is the protocol
+default, but a degree-3 7x7 mesh plus two host access links can reach path
+costs near 16, so experiments use 32 to keep "unreachable" meaning what the
+paper meant (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..net.failure import DEFAULT_DETECTION_DELAY
+from ..net.link import DEFAULT_QUEUE_CAPACITY
+
+__all__ = ["ExperimentConfig", "PROTOCOL_NAMES"]
+
+#: Protocols reproducible from the paper plus this package's extensions.
+PROTOCOL_NAMES = (
+    "rip",
+    "rip-hd",
+    "dbf",
+    "dual",
+    "bgp",
+    "bgp3",
+    "spf",
+    "spf-slow",
+    "spf-lfa",
+    "bgp-pd",
+    "bgp3-pd",
+    "bgp-rfd",
+    "bgp3-rfd",
+    "bgp-ssld",
+    "bgp3-ssld",
+    "static",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs for one figure-style experiment sweep."""
+
+    # Topology.
+    rows: int = 7
+    cols: int = 7
+    degrees: tuple[int, ...] = (3, 4, 5, 6, 7, 8)
+
+    # Protocols under study (names from PROTOCOL_NAMES).
+    protocols: tuple[str, ...] = ("rip", "dbf", "bgp", "bgp3")
+
+    # Statistical replication.
+    runs: int = 10
+    seed: int = 1
+
+    # Timeline (seconds).
+    traffic_start: float = 5.0
+    fail_time: float = 10.0
+    post_fail_window: float = 70.0
+
+    # Traffic.  20 pkt/s of 64-byte packets keeps the flow (and any transient
+    # forwarding loop, whose per-link hop rate is ~rate*TTL/2) well under the
+    # 1 Mbps link capacity, so convergence-period losses are attributable to
+    # routing (NO_ROUTE, TTL_EXPIRED) rather than congestion — the loss causes
+    # the paper studies.  See DESIGN.md "Parameter reconstruction".
+    rate_pps: float = 20.0
+    packet_bytes: int = 64
+    ttl: int = 127
+
+    # Substrate.
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY
+    detection_delay: float = DEFAULT_DETECTION_DELAY
+    # Strict-priority queueing for routing messages (control-plane protection
+    # ablation; the paper's simulator shares one FIFO, our default too).
+    prioritize_control: bool = False
+
+    # Distance-vector infinity for RIP/DBF (see module docstring).
+    dv_infinity: int = 32
+
+    # True = cold start with a convergence warm-up instead of analytic warm start.
+    cold_start: bool = False
+    cold_warmup: float = 390.0
+
+    # Record per-packet hop traces (needed for loop analysis; costs memory).
+    record_paths: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows < 3 or self.cols < 3:
+            raise ValueError("mesh must be at least 3x3")
+        if not self.degrees:
+            raise ValueError("no degrees to sweep")
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+        if not 0 < self.traffic_start < self.fail_time:
+            raise ValueError("need 0 < traffic_start < fail_time")
+        if self.post_fail_window <= 0:
+            raise ValueError("post_fail_window must be positive")
+        unknown = set(self.protocols) - set(PROTOCOL_NAMES)
+        if unknown:
+            raise ValueError(f"unknown protocols: {sorted(unknown)}")
+
+    @property
+    def end_time(self) -> float:
+        return self.fail_time + self.post_fail_window
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """Full paper-scale configuration."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Scaled-down profile for tests/benchmarks (same protocol timers)."""
+        return cls(
+            degrees=(3, 4, 5, 6),
+            runs=3,
+            post_fail_window=50.0,
+        )
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """Functional update helper."""
+        return replace(self, **overrides)

@@ -1,0 +1,158 @@
+"""Result persistence: save/load experiment outcomes as JSON.
+
+Paper-scale sweeps take minutes; this module lets the harness checkpoint
+results (`save_points`) and reload them for later analysis or plotting
+(`load_points`) without re-simulating.  The format is plain JSON — stable,
+diff-able, and readable outside Python.
+
+Only aggregate-relevant fields are persisted (scalar measurements plus the
+throughput/delay series); per-packet traces and loop reports are run-time
+artifacts and are not serialized.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..metrics.reordering import ReorderingReport
+from ..metrics.timeseries import BinnedSeries
+from .runner import PointResult
+from .scenario import ScenarioResult
+
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_points",
+    "load_points",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _series_to_dict(series: BinnedSeries | None) -> dict | None:
+    if series is None:
+        return None
+    return {"times": list(series.times), "values": list(series.values)}
+
+
+def _series_from_dict(data: Mapping | None) -> BinnedSeries | None:
+    if data is None:
+        return None
+    return BinnedSeries(times=tuple(data["times"]), values=tuple(data["values"]))
+
+
+def scenario_to_dict(result: ScenarioResult) -> dict:
+    """JSON-ready representation of one run's measurements."""
+    return {
+        "protocol": result.protocol,
+        "degree": result.degree,
+        "seed": result.seed,
+        "sender": result.sender,
+        "receiver": result.receiver,
+        "failed_link": list(result.failed_link),
+        "pre_failure_path": list(result.pre_failure_path),
+        "expected_final_path": (
+            list(result.expected_final_path) if result.expected_final_path else None
+        ),
+        "sent": result.sent,
+        "delivered": result.delivered,
+        "drops_no_route": result.drops_no_route,
+        "drops_ttl": result.drops_ttl,
+        "drops_link_down": result.drops_link_down,
+        "drops_queue": result.drops_queue,
+        "routing_convergence": result.routing_convergence,
+        "destination_convergence": result.destination_convergence,
+        "forwarding_convergence": result.forwarding_convergence,
+        "converged_to_expected": result.converged_to_expected,
+        "transient_path_count": result.transient_path_count,
+        "messages": result.messages,
+        "withdrawals": result.withdrawals,
+        "throughput": _series_to_dict(result.throughput),
+        "delay": _series_to_dict(result.delay),
+        "reordering": (
+            {
+                "delivered": result.reordering.delivered,
+                "late_packets": result.reordering.late_packets,
+                "max_displacement": result.reordering.max_displacement,
+                "episodes": result.reordering.episodes,
+            }
+            if result.reordering
+            else None
+        ),
+    }
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
+    """Inverse of :func:`scenario_to_dict`."""
+    reordering = None
+    if data.get("reordering"):
+        r = data["reordering"]
+        reordering = ReorderingReport(
+            delivered=r["delivered"],
+            late_packets=r["late_packets"],
+            max_displacement=r["max_displacement"],
+            episodes=r["episodes"],
+        )
+    return ScenarioResult(
+        protocol=data["protocol"],
+        degree=data["degree"],
+        seed=data["seed"],
+        sender=data["sender"],
+        receiver=data["receiver"],
+        failed_link=tuple(data["failed_link"]),
+        pre_failure_path=tuple(data["pre_failure_path"]),
+        expected_final_path=(
+            tuple(data["expected_final_path"])
+            if data.get("expected_final_path")
+            else None
+        ),
+        sent=data["sent"],
+        delivered=data["delivered"],
+        drops_no_route=data["drops_no_route"],
+        drops_ttl=data["drops_ttl"],
+        drops_link_down=data["drops_link_down"],
+        drops_queue=data["drops_queue"],
+        routing_convergence=data["routing_convergence"],
+        destination_convergence=data.get("destination_convergence", 0.0),
+        forwarding_convergence=data["forwarding_convergence"],
+        converged_to_expected=data["converged_to_expected"],
+        transient_path_count=data["transient_path_count"],
+        throughput=_series_from_dict(data.get("throughput")),
+        delay=_series_from_dict(data.get("delay")),
+        messages=data["messages"],
+        withdrawals=data["withdrawals"],
+        reordering=reordering,
+    )
+
+
+def save_points(points: Mapping[tuple[str, int], PointResult], path: str) -> None:
+    """Write a sweep (as from ``run_sweep``) to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "points": [
+            {
+                "protocol": protocol,
+                "degree": degree,
+                "runs": [scenario_to_dict(r) for r in point.runs],
+            }
+            for (protocol, degree), point in sorted(points.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1)
+
+
+def load_points(path: str) -> dict[tuple[str, int], PointResult]:
+    """Read a sweep previously written by :func:`save_points`."""
+    with open(path, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format version {version!r}")
+    out: dict[tuple[str, int], PointResult] = {}
+    for entry in payload["points"]:
+        point = PointResult(protocol=entry["protocol"], degree=entry["degree"])
+        point.runs.extend(scenario_from_dict(r) for r in entry["runs"])
+        out[(entry["protocol"], entry["degree"])] = point
+    return out

@@ -1,0 +1,123 @@
+"""Multi-run experiment driver with per-point aggregation.
+
+The paper reports each data point as the average of 10 independent runs
+(different random sender/receiver attachments, failed link, and timer
+jitter).  :func:`run_point` does exactly that for one (protocol, degree)
+pair; :func:`run_sweep` covers a whole figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics.timeseries import BinnedSeries, average_series
+from .config import ExperimentConfig
+from .scenario import ScenarioResult, run_scenario
+
+__all__ = ["PointResult", "run_point", "run_sweep"]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class PointResult:
+    """Aggregated measurements for one (protocol, degree) data point."""
+
+    protocol: str
+    degree: int
+    runs: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def mean_drops_no_route(self) -> float:
+        return _mean([r.drops_no_route for r in self.runs])
+
+    @property
+    def mean_drops_ttl(self) -> float:
+        return _mean([r.drops_ttl for r in self.runs])
+
+    @property
+    def mean_total_drops(self) -> float:
+        return _mean([r.total_drops for r in self.runs])
+
+    @property
+    def mean_delivery_ratio(self) -> float:
+        return _mean([r.delivery_ratio for r in self.runs])
+
+    @property
+    def mean_routing_convergence(self) -> float:
+        return _mean([r.routing_convergence for r in self.runs])
+
+    @property
+    def mean_forwarding_convergence(self) -> float:
+        return _mean([r.forwarding_convergence for r in self.runs])
+
+    @property
+    def mean_messages(self) -> float:
+        return _mean([float(r.messages) for r in self.runs])
+
+    @property
+    def mean_transient_paths(self) -> float:
+        return _mean([float(r.transient_path_count) for r in self.runs])
+
+    @property
+    def convergence_success_rate(self) -> float:
+        return _mean([1.0 if r.converged_to_expected else 0.0 for r in self.runs])
+
+    def mean_throughput(self) -> BinnedSeries:
+        """Run-averaged instantaneous throughput (Figure 5 curves)."""
+        return average_series([r.throughput for r in self.runs if r.throughput])
+
+    def mean_delay(self) -> BinnedSeries:
+        """Run-averaged instantaneous delay (Figure 7 curves)."""
+        return average_series([r.delay for r in self.runs if r.delay])
+
+
+def run_point(
+    protocol: str,
+    degree: int,
+    config: Optional[ExperimentConfig] = None,
+    workers: int = 1,
+) -> PointResult:
+    """Run ``config.runs`` seeds of one (protocol, degree) experiment.
+
+    ``workers > 1`` fans the seeds out over a process pool — each simulation
+    is single-threaded and independent, so sweeps parallelize perfectly.
+    """
+    config = config or ExperimentConfig.quick()
+    point = PointResult(protocol=protocol, degree=degree)
+    seeds = [config.seed + i for i in range(config.runs)]
+    if workers <= 1 or config.runs == 1:
+        for seed in seeds:
+            point.runs.append(run_scenario(protocol, degree, seed, config))
+        return point
+    import concurrent.futures
+
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run_scenario, protocol, degree, seed, config)
+            for seed in seeds
+        ]
+        point.runs.extend(f.result() for f in futures)
+    return point
+
+
+def run_sweep(
+    config: Optional[ExperimentConfig] = None,
+    workers: int = 1,
+) -> dict[tuple[str, int], PointResult]:
+    """Full (protocol x degree) sweep; keys are (protocol, degree)."""
+    config = config or ExperimentConfig.quick()
+    results: dict[tuple[str, int], PointResult] = {}
+    for protocol in config.protocols:
+        for degree in config.degrees:
+            results[(protocol, degree)] = run_point(
+                protocol, degree, config, workers=workers
+            )
+    return results

@@ -1,0 +1,300 @@
+"""Scenario builder: one protocol, one topology, one failure, one flow.
+
+Reconstructs the paper's experiment (§5): a sender attached to a random
+first-row router streams CBR traffic to a receiver attached to a random
+last-row router; after steady state, one randomly chosen link on the current
+sender->receiver shortest path fails; every packet-level consequence is
+measured until the post-failure window closes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..metrics.convergence import ConvergenceTracker, NetworkConvergenceWatcher
+from ..metrics.counters import DropCounter, MessageCounter
+from ..metrics.loops import LoopReport, analyze_deliveries
+from ..metrics.reordering import ReorderingReport, analyze_reordering
+from ..metrics.timeseries import BinnedSeries, delay_series, throughput_series
+from ..net.failure import FailureInjector
+from ..net.network import Network
+from ..net.node import Node
+from ..routing.bgp import BgpConfig, BgpProtocol
+from ..routing.damping import DampingConfig
+from ..routing.dbf import DbfProtocol
+from ..routing.dual import DualProtocol
+from ..routing.dv_common import DistanceVectorConfig
+from ..routing.rip import RipProtocol
+from ..routing.spf import SpfConfig, SpfProtocol
+from ..routing.static import StaticProtocol
+from ..sim.engine import Simulator
+from ..sim.rng import RngStreams
+from ..sim.tracing import TraceBus
+from ..topology.generators import attach_host
+from ..topology.graph import Topology
+from ..topology.mesh import regular_mesh
+from ..traffic.cbr import CbrSource
+from ..traffic.flows import FlowSpec
+from ..traffic.sink import PacketSink
+from .config import ExperimentConfig
+
+__all__ = ["ScenarioResult", "run_scenario", "make_protocol_factory"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured in one simulation run."""
+
+    protocol: str
+    degree: int
+    seed: int
+    sender: int
+    receiver: int
+    failed_link: tuple[int, int]
+    pre_failure_path: tuple[int, ...]
+    expected_final_path: Optional[tuple[int, ...]]
+    # Packet accounting (post-failure window for drops; whole flow otherwise).
+    sent: int = 0
+    delivered: int = 0
+    drops_no_route: int = 0
+    drops_ttl: int = 0
+    drops_link_down: int = 0
+    drops_queue: int = 0
+    # Convergence clocks (seconds from failure detection).
+    routing_convergence: float = 0.0  # network-wide, all destinations (Fig 6b)
+    destination_convergence: float = 0.0  # receiver destination only
+    forwarding_convergence: float = 0.0  # sender->receiver path (Fig 6a)
+    converged_to_expected: bool = False
+    transient_path_count: int = 0
+    # Per-second series, times relative to the failure instant.
+    throughput: Optional[BinnedSeries] = None
+    delay: Optional[BinnedSeries] = None
+    # Control-plane overhead in the post-failure window.
+    messages: int = 0
+    withdrawals: int = 0
+    # Loop analysis (only when record_paths was enabled).
+    loop_report: Optional[LoopReport] = None
+    # Arrival-order inversion analysis (always computed).
+    reordering: Optional[ReorderingReport] = None
+
+    @property
+    def total_drops(self) -> int:
+        return (
+            self.drops_no_route
+            + self.drops_ttl
+            + self.drops_link_down
+            + self.drops_queue
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 0.0
+
+
+def make_protocol_factory(
+    name: str,
+    network: Network,
+    rng_streams: RngStreams,
+    topology: Topology,
+    config: ExperimentConfig,
+) -> Callable[[Node], object]:
+    """Protocol constructor-by-name, sharing one RNG family per run."""
+    dv_config = DistanceVectorConfig(infinity=config.dv_infinity)
+
+    def factory(node: Node) -> object:
+        if name == "rip":
+            return RipProtocol(node, rng_streams, dv_config)
+        if name == "rip-hd":
+            from dataclasses import replace
+
+            return RipProtocol(
+                node, rng_streams, replace(dv_config, holddown=90.0)
+            )
+        if name == "dbf":
+            return DbfProtocol(node, rng_streams, dv_config)
+        if name == "bgp":
+            return BgpProtocol(node, rng_streams, network, BgpConfig.standard())
+        if name == "bgp3":
+            return BgpProtocol(node, rng_streams, network, BgpConfig.fast())
+        if name == "bgp-pd":
+            cfg = BgpConfig(per_destination_mrai=True, label="bgp-pd")
+            return BgpProtocol(node, rng_streams, network, cfg)
+        if name == "bgp3-pd":
+            cfg = BgpConfig(
+                mrai_base=3.0, mrai_jitter=0.5, per_destination_mrai=True, label="bgp3-pd"
+            )
+            return BgpProtocol(node, rng_streams, network, cfg)
+        if name == "bgp3-ssld":
+            cfg = BgpConfig(
+                mrai_base=3.0,
+                mrai_jitter=0.5,
+                sender_side_loop_detection=True,
+                label="bgp3-ssld",
+            )
+            return BgpProtocol(node, rng_streams, network, cfg)
+        if name == "bgp-ssld":
+            cfg = BgpConfig(sender_side_loop_detection=True, label="bgp-ssld")
+            return BgpProtocol(node, rng_streams, network, cfg)
+        if name == "bgp-rfd":
+            cfg = BgpConfig(damping=DampingConfig(), label="bgp-rfd")
+            return BgpProtocol(node, rng_streams, network, cfg)
+        if name == "bgp3-rfd":
+            cfg = BgpConfig(
+                mrai_base=3.0, mrai_jitter=0.5, damping=DampingConfig(), label="bgp3-rfd"
+            )
+            return BgpProtocol(node, rng_streams, network, cfg)
+        if name == "dual":
+            return DualProtocol(node, rng_streams, network)
+        if name == "spf":
+            return SpfProtocol(node, rng_streams)
+        if name == "spf-slow":
+            return SpfProtocol(node, rng_streams, SpfConfig(spf_delay=2.0, label="spf-slow"))
+        if name == "spf-lfa":
+            return SpfProtocol(
+                node, rng_streams, SpfConfig(spf_delay=2.0, lfa=True, label="spf-lfa")
+            )
+        if name == "static":
+            return StaticProtocol(node, rng_streams, topology)
+        raise ValueError(f"unknown protocol {name!r}")
+
+    return factory
+
+
+def _pick_endpoints(
+    rng: random.Random, rows: int, cols: int
+) -> tuple[int, int]:
+    """Random first-row and last-row routers (paper's attachment rule)."""
+    sender_router = rng.randrange(0, cols)
+    receiver_router = (rows - 1) * cols + rng.randrange(0, cols)
+    return sender_router, receiver_router
+
+
+def _pick_failed_link(
+    rng: random.Random, path: list[int], sender: int, receiver: int
+) -> tuple[int, int]:
+    """Random mesh link on the shortest path (access links excluded)."""
+    edges = [
+        (path[i], path[i + 1])
+        for i in range(len(path) - 1)
+        if sender not in (path[i], path[i + 1])
+        and receiver not in (path[i], path[i + 1])
+    ]
+    if not edges:
+        raise ValueError("shortest path has no mesh links to fail")
+    return rng.choice(edges)
+
+
+def run_scenario(
+    protocol: str,
+    degree: int,
+    seed: int,
+    config: Optional[ExperimentConfig] = None,
+) -> ScenarioResult:
+    """Run one complete experiment and return all measurements."""
+    config = config or ExperimentConfig.quick()
+    rng_streams = RngStreams(seed)
+    scenario_rng = rng_streams.stream("scenario")
+
+    # --- topology with sender/receiver hosts attached -----------------------
+    topo = regular_mesh(config.rows, config.cols, degree)
+    sender_router, receiver_router = _pick_endpoints(scenario_rng, config.rows, config.cols)
+    sender = attach_host(topo, sender_router)
+    receiver = attach_host(topo, receiver_router)
+
+    pre_path = topo.shortest_path(sender, receiver)
+    assert pre_path is not None, "mesh must be connected"
+    failed = _pick_failed_link(scenario_rng, pre_path, sender, receiver)
+    expected_final = topo.shortest_path(sender, receiver, exclude_link=failed)
+
+    # --- live network --------------------------------------------------------
+    sim = Simulator()
+    bus = TraceBus(keep_routes=False)
+    network = Network(
+        sim,
+        topo,
+        bus,
+        queue_capacity=config.queue_capacity,
+        record_paths=config.record_paths,
+        priority_control=config.prioritize_control,
+    )
+    factory = make_protocol_factory(protocol, network, rng_streams, topo, config)
+    network.attach_protocols(factory)
+
+    base = 0.0
+    if config.cold_start:
+        network.start_protocols()
+        sim.run(until=config.cold_warmup)
+        base = config.cold_warmup
+    else:
+        for node in network.iter_nodes():
+            assert node.protocol is not None
+            node.protocol.warm_start(topo)
+
+    traffic_start = base + config.traffic_start
+    fail_at = base + config.fail_time
+    end_at = base + config.end_time
+
+    # --- instrumentation ------------------------------------------------------
+    tracker = ConvergenceTracker(bus, dest=receiver, src=sender)
+    tracker.seed_from_network(network)
+    net_watcher = NetworkConvergenceWatcher(bus)
+    drop_counter = DropCounter(bus, window_start=fail_at)
+    message_counter = MessageCounter(bus, window_start=fail_at)
+
+    sink = PacketSink(flow_id=1, ttl_at_send=config.ttl)
+    network.node(receiver).attach_app(sink)
+    flow = FlowSpec(
+        flow_id=1,
+        src=sender,
+        dst=receiver,
+        rate_pps=config.rate_pps,
+        start=traffic_start,
+        stop=end_at,
+        packet_bytes=config.packet_bytes,
+        ttl=config.ttl,
+    )
+    source = CbrSource(sim, network, flow)
+    source.start()
+
+    injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
+    injector.fail_link(failed[0], failed[1], at=fail_at)
+
+    # --- run ------------------------------------------------------------------
+    sim.run(until=end_at)
+
+    detect_at = fail_at + config.detection_delay
+    deliveries = sink.stats.deliveries
+    result = ScenarioResult(
+        protocol=protocol,
+        degree=degree,
+        seed=seed,
+        sender=sender,
+        receiver=receiver,
+        failed_link=failed,
+        pre_failure_path=tuple(pre_path),
+        expected_final_path=tuple(expected_final) if expected_final else None,
+        sent=source.sent,
+        delivered=sink.stats.delivered,
+        drops_no_route=drop_counter.no_route,
+        drops_ttl=drop_counter.ttl_expired,
+        drops_link_down=drop_counter.link_down,
+        drops_queue=drop_counter.queue_overflow,
+        routing_convergence=net_watcher.convergence_time(detect_at),
+        destination_convergence=tracker.routing_convergence_time(detect_at),
+        forwarding_convergence=tracker.forwarding_convergence_delay(detect_at),
+        converged_to_expected=(
+            tracker.converged_to(tuple(expected_final)) if expected_final else False
+        ),
+        transient_path_count=len(tracker.transient_paths(fail_at)),
+        throughput=throughput_series(deliveries, traffic_start, end_at, origin=fail_at),
+        delay=delay_series(deliveries, traffic_start, end_at, origin=fail_at),
+        messages=message_counter.messages,
+        withdrawals=message_counter.withdrawals,
+        reordering=analyze_reordering(deliveries),
+    )
+    if config.record_paths:
+        steady_hops = len(pre_path) - 2  # forwarding hops on the original path
+        result.loop_report = analyze_deliveries(deliveries, shortest_hops=steady_hops)
+    return result

@@ -1,0 +1,188 @@
+"""Shape validation: check a result set against the paper's claims.
+
+The reproduction's contract is qualitative — who wins, in which direction,
+where the knee falls.  This module encodes each of the paper's Observations
+as a programmatic check over a ``(protocol, degree) -> PointResult`` sweep,
+so a user who modifies a protocol (or adds one) can ask directly: *does the
+paper still hold?*
+
+Checks degrade gracefully: a check whose required protocols/degrees are not
+in the sweep reports ``skipped`` rather than failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from .runner import PointResult
+
+__all__ = ["CheckResult", "validate_observations", "format_checks"]
+
+Sweep = Mapping[tuple[str, int], PointResult]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one observation check."""
+
+    name: str
+    passed: Optional[bool]  # None = skipped (inputs not in the sweep)
+    detail: str
+
+    @property
+    def skipped(self) -> bool:
+        return self.passed is None
+
+
+def _degrees(sweep: Sweep, protocol: str) -> list[int]:
+    return sorted(d for p, d in sweep if p == protocol)
+
+
+def _have(sweep: Sweep, *protocols: str) -> bool:
+    present = {p for p, _ in sweep}
+    return all(p in present for p in protocols)
+
+
+def _check_obs1_drops_vs_degree(sweep: Sweep) -> CheckResult:
+    name = "Obs 1: drops fall with degree; RIP stays high; cache protocols reach ~0"
+    if not _have(sweep, "rip", "dbf"):
+        return CheckResult(name, None, "needs rip and dbf in the sweep")
+    degrees = _degrees(sweep, "rip")
+    if len(degrees) < 2:
+        return CheckResult(name, None, "needs at least two degrees")
+    lo, hi = degrees[0], degrees[-1]
+    rip_hi = sweep[("rip", hi)].mean_drops_no_route
+    dbf_hi = sweep[("dbf", hi)].mean_drops_no_route
+    rip_worst_everywhere = all(
+        sweep[("rip", d)].mean_drops_no_route
+        >= sweep[("dbf", d)].mean_drops_no_route
+        for d in degrees
+    )
+    ok = rip_worst_everywhere and dbf_hi < 5 and rip_hi > 20
+    return CheckResult(
+        name,
+        ok,
+        f"at degree {hi}: rip={rip_hi:.1f}, dbf={dbf_hi:.1f}; "
+        f"rip worst at every degree: {rip_worst_everywhere}",
+    )
+
+
+def _check_obs2_ttl(sweep: Sweep) -> CheckResult:
+    name = "Obs 2: RIP never loops; no loops at the richest degree; BGP >= BGP-3"
+    if not _have(sweep, "rip"):
+        return CheckResult(name, None, "needs rip in the sweep")
+    degrees = _degrees(sweep, "rip")
+    rip_clean = all(sweep[("rip", d)].mean_drops_ttl == 0 for d in degrees)
+    hi = degrees[-1]
+    top_clean = all(
+        sweep[(p, hi)].mean_drops_ttl == 0 for p, d in sweep if d == hi
+    )
+    ratio_ok = True
+    detail = f"rip loop-free: {rip_clean}; degree-{hi} loop-free: {top_clean}"
+    if _have(sweep, "bgp", "bgp3"):
+        sparse = [d for d in degrees if d < hi]
+        if sparse:
+            worst_bgp = max(sweep[("bgp", d)].mean_drops_ttl for d in sparse)
+            worst_bgp3 = max(sweep[("bgp3", d)].mean_drops_ttl for d in sparse)
+            ratio_ok = worst_bgp >= worst_bgp3
+            detail += f"; worst bgp={worst_bgp:.1f} vs bgp3={worst_bgp3:.1f}"
+    return CheckResult(name, rip_clean and top_clean and ratio_ok, detail)
+
+
+def _check_obs3_throughput(sweep: Sweep) -> CheckResult:
+    name = "Obs 3: RIP's dip deep and slow; cache protocols barely dip at high degree"
+    if not _have(sweep, "rip", "dbf"):
+        return CheckResult(name, None, "needs rip and dbf in the sweep")
+    degrees = _degrees(sweep, "rip")
+    lo, hi = degrees[0], degrees[-1]
+    try:
+        rip_series = sweep[("rip", lo)].mean_throughput()
+        dbf_series = sweep[("dbf", hi)].mean_throughput()
+    except ValueError:
+        return CheckResult(name, None, "sweep lacks throughput series")
+    steady = rip_series.window(-5.0, 0.0).mean_value()
+    if steady <= 0:
+        return CheckResult(name, None, "no pre-failure traffic in series")
+    rip_dip = rip_series.window(0.0, 5.0).min_value()
+    dbf_post = dbf_series.window(0.0, 15.0).mean_value()
+    ok = rip_dip < 0.5 * steady and dbf_post > 0.85 * steady
+    return CheckResult(
+        name,
+        ok,
+        f"rip degree-{lo} dip {rip_dip:.1f}/{steady:.1f} pkt/s; "
+        f"dbf degree-{hi} post-failure mean {dbf_post:.1f}",
+    )
+
+
+def _check_obs4_convergence_decoupling(sweep: Sweep) -> CheckResult:
+    name = "Obs 4: BGP-3 converges faster than BGP; drops decouple at high degree"
+    if not _have(sweep, "bgp", "bgp3"):
+        return CheckResult(name, None, "needs bgp and bgp3 in the sweep")
+    degrees = _degrees(sweep, "bgp")
+    faster = all(
+        sweep[("bgp3", d)].mean_routing_convergence
+        < sweep[("bgp", d)].mean_routing_convergence
+        for d in degrees
+    )
+    hi = degrees[-1]
+    drop_gap = abs(
+        sweep[("bgp", hi)].mean_drops_no_route
+        - sweep[("bgp3", hi)].mean_drops_no_route
+    )
+    still_converging = sweep[("bgp", hi)].mean_routing_convergence > 1.0
+    ok = faster and drop_gap < 5 and still_converging
+    return CheckResult(
+        name,
+        ok,
+        f"bgp3 faster at every degree: {faster}; degree-{hi} drop gap "
+        f"{drop_gap:.1f}; bgp still converging {still_converging}",
+    )
+
+
+def _check_obs5_delay(sweep: Sweep) -> CheckResult:
+    name = "Obs 5: convergence-period delay exceeds steady state somewhere"
+    candidates = [key for key in sweep if key[0] != "static"]
+    if not candidates:
+        return CheckResult(name, None, "empty sweep")
+    for key in sorted(candidates):
+        try:
+            series = sweep[key].mean_delay()
+        except ValueError:
+            continue
+        steady = series.window(-5.0, 0.0).mean_value()
+        post = [v for v in series.window(0.0, 30.0).values if v > 0]
+        if steady > 0 and post and max(post) > steady * 1.05:
+            return CheckResult(
+                name, True, f"{key}: max post-failure delay {max(post):.4f}s "
+                f"vs steady {steady:.4f}s"
+            )
+    return CheckResult(name, False, "no protocol/degree showed delay inflation")
+
+
+_CHECKS: list[Callable[[Sweep], CheckResult]] = [
+    _check_obs1_drops_vs_degree,
+    _check_obs2_ttl,
+    _check_obs3_throughput,
+    _check_obs4_convergence_decoupling,
+    _check_obs5_delay,
+]
+
+
+def validate_observations(sweep: Sweep) -> list[CheckResult]:
+    """Run every paper-Observation check against a sweep."""
+    return [check(sweep) for check in _CHECKS]
+
+
+def format_checks(results: list[CheckResult]) -> str:
+    """Human-readable check report."""
+    lines = []
+    for r in results:
+        status = "SKIP" if r.skipped else ("PASS" if r.passed else "FAIL")
+        lines.append(f"[{status}] {r.name}")
+        lines.append(f"       {r.detail}")
+    passed = sum(1 for r in results if r.passed)
+    failed = sum(1 for r in results if r.passed is False)
+    skipped = sum(1 for r in results if r.skipped)
+    lines.append(f"\n{passed} passed, {failed} failed, {skipped} skipped")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Measurement layer: drop counters, time series, convergence, loop analysis."""
+
+from .convergence import ConvergenceTracker, PathSnapshot, walk_forwarding_path
+from .counters import DropCounter, MessageCounter
+from .loops import LoopReport, analyze_deliveries, first_loop, path_has_loop
+from .narrate import TimelineEvent, build_timeline, format_timeline
+from .reordering import ReorderingReport, analyze_reordering
+from .timeseries import (
+    BinnedSeries,
+    average_series,
+    delay_series,
+    jitter_series,
+    throughput_series,
+)
+
+__all__ = [
+    "DropCounter",
+    "MessageCounter",
+    "BinnedSeries",
+    "throughput_series",
+    "delay_series",
+    "jitter_series",
+    "average_series",
+    "ConvergenceTracker",
+    "PathSnapshot",
+    "walk_forwarding_path",
+    "LoopReport",
+    "TimelineEvent",
+    "build_timeline",
+    "format_timeline",
+    "ReorderingReport",
+    "analyze_reordering",
+    "analyze_deliveries",
+    "path_has_loop",
+    "first_loop",
+]

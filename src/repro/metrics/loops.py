@@ -1,0 +1,79 @@
+"""Transient forwarding-loop analysis (paper §5.2).
+
+Works from recorded per-packet hop traces (enable ``record_paths`` on the
+network): a packet whose hop sequence revisits a node traversed a loop; a
+*delivered* packet with a revisit "escaped" the loop (the long-delay
+stragglers of Figure 7); a TTL-expired packet died inside one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..traffic.flows import Delivery
+
+__all__ = ["LoopReport", "path_has_loop", "first_loop", "analyze_deliveries"]
+
+
+def path_has_loop(path: Sequence[int]) -> bool:
+    """True if any node appears twice in the hop sequence."""
+    return len(set(path)) != len(path)
+
+
+def first_loop(path: Sequence[int]) -> Optional[tuple[int, ...]]:
+    """The node cycle of the first loop in ``path`` (None if loop-free).
+
+    E.g. ``[1, 2, 3, 2]`` -> ``(2, 3, 2)``.
+    """
+    seen: dict[int, int] = {}
+    for idx, node in enumerate(path):
+        if node in seen:
+            return tuple(path[seen[node] : idx + 1])
+        seen[node] = idx
+    return None
+
+
+@dataclass(frozen=True)
+class LoopReport:
+    """Summary of loop involvement among delivered packets."""
+
+    delivered: int
+    escaped_loop: int
+    loop_cycles: tuple[tuple[int, ...], ...]
+    max_extra_hops: int
+
+    @property
+    def escape_ratio(self) -> float:
+        return self.escaped_loop / self.delivered if self.delivered else 0.0
+
+
+def analyze_deliveries(
+    deliveries: Iterable[Delivery], shortest_hops: Optional[int] = None
+) -> LoopReport:
+    """Classify delivered packets by loop involvement.
+
+    ``shortest_hops`` (steady-state hop count) lets the report quantify the
+    extra hops transient paths added.
+    """
+    delivered = 0
+    escaped = 0
+    cycles: list[tuple[int, ...]] = []
+    max_extra = 0
+    for d in deliveries:
+        delivered += 1
+        if d.path is None:
+            continue
+        if path_has_loop(d.path):
+            escaped += 1
+            cycle = first_loop(d.path)
+            if cycle is not None:
+                cycles.append(cycle)
+        if shortest_hops is not None:
+            max_extra = max(max_extra, d.hops - shortest_hops)
+    return LoopReport(
+        delivered=delivered,
+        escaped_loop=escaped,
+        loop_cycles=tuple(cycles),
+        max_extra_hops=max_extra,
+    )

@@ -1,0 +1,136 @@
+"""Convergence narration: turn trace records into a readable timeline.
+
+The paper's methodology is forensic — "analysis of the routing and
+forwarding trace files shows ..." (§5.2).  This module automates that
+reading: given the records collected during a run, it produces a
+chronological, annotated account of the convergence event (failure,
+detection, per-node switch-overs, path changes, loop formation/breakup,
+drop bursts), suitable for printing next to a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..sim.tracing import (
+    DropCause,
+    LinkEventRecord,
+    PacketRecord,
+    RouteChangeRecord,
+)
+from .convergence import PathSnapshot
+
+__all__ = ["TimelineEvent", "build_timeline", "format_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One annotated instant of the convergence story."""
+
+    time: float
+    kind: str  # "link", "route", "path", "drops"
+    text: str
+
+
+def _route_events(
+    route_changes: Iterable[RouteChangeRecord], dest: Optional[int]
+) -> list[TimelineEvent]:
+    events = []
+    for r in route_changes:
+        if dest is not None and r.dest != dest:
+            continue
+        if r.new_next_hop is None:
+            text = f"node {r.node} lost its route to {r.dest} (was via {r.old_next_hop})"
+        elif r.old_next_hop is None:
+            text = f"node {r.node} gained a route to {r.dest} via {r.new_next_hop}"
+        else:
+            text = (
+                f"node {r.node} switched route to {r.dest}: "
+                f"{r.old_next_hop} -> {r.new_next_hop}"
+            )
+        events.append(TimelineEvent(time=r.time, kind="route", text=text))
+    return events
+
+
+def _link_events(link_events: Iterable[LinkEventRecord]) -> list[TimelineEvent]:
+    return [
+        TimelineEvent(
+            time=e.time,
+            kind="link",
+            text=(
+                f"link ({e.node_a}, {e.node_b}) "
+                + ("restored" if e.up else "FAILED")
+            ),
+        )
+        for e in link_events
+    ]
+
+
+def _path_events(snapshots: Iterable[PathSnapshot]) -> list[TimelineEvent]:
+    events = []
+    for snap in snapshots:
+        route = " -> ".join(map(str, snap.path))
+        if snap.state == "ok":
+            text = f"forwarding path now {route}"
+        elif snap.state == "broken":
+            text = f"forwarding path BROKEN at node {snap.path[-1]} ({route} ...)"
+        else:
+            text = f"forwarding path LOOPS: {route}"
+        events.append(TimelineEvent(time=snap.time, kind="path", text=text))
+    return events
+
+
+def _drop_bursts(
+    packets: Iterable[PacketRecord], bin_width: float = 1.0
+) -> list[TimelineEvent]:
+    """Aggregate drop records into per-second bursts by cause."""
+    bins: dict[tuple[int, DropCause], int] = {}
+    for p in packets:
+        if p.kind != "drop" or p.cause is None:
+            continue
+        key = (int(p.time // bin_width), p.cause)
+        bins[key] = bins.get(key, 0) + 1
+    events = []
+    for (bin_idx, cause), count in sorted(bins.items()):
+        events.append(
+            TimelineEvent(
+                time=bin_idx * bin_width,
+                kind="drops",
+                text=f"{count} packet(s) dropped ({cause.value}) in [{bin_idx}s, {bin_idx + 1}s)",
+            )
+        )
+    return events
+
+
+def build_timeline(
+    route_changes: Iterable[RouteChangeRecord] = (),
+    link_events: Iterable[LinkEventRecord] = (),
+    snapshots: Iterable[PathSnapshot] = (),
+    packets: Iterable[PacketRecord] = (),
+    dest: Optional[int] = None,
+    since: float = 0.0,
+) -> list[TimelineEvent]:
+    """Merge trace records into one chronological annotated timeline."""
+    events = (
+        _route_events(route_changes, dest)
+        + _link_events(link_events)
+        + _path_events(snapshots)
+        + _drop_bursts(packets)
+    )
+    events = [e for e in events if e.time >= since]
+    events.sort(key=lambda e: (e.time, e.kind))
+    return events
+
+
+def format_timeline(
+    events: list[TimelineEvent], origin: float = 0.0, max_events: int = 80
+) -> str:
+    """Render a timeline (times shown relative to ``origin``)."""
+    lines = []
+    shown = events[:max_events]
+    for e in shown:
+        lines.append(f"  t={e.time - origin:+9.3f}s  [{e.kind:>5}]  {e.text}")
+    if len(events) > max_events:
+        lines.append(f"  ... {len(events) - max_events} more events omitted")
+    return "\n".join(lines) if lines else "  (no events)"

@@ -1,0 +1,62 @@
+"""Packet reordering analysis.
+
+Transient forwarding paths reorder traffic: packets already queued along the
+old (longer or congested) path arrive after younger packets that took the
+new one.  The paper notes delay/jitter "are only meaningful when packets are
+delivered"; reordering is the third member of that family and matters to
+transports (spurious fast-retransmit).  Packet ids are assigned in send
+order per flow, so arrival-order inversions measure reordering directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..traffic.flows import Delivery
+
+__all__ = ["ReorderingReport", "analyze_reordering"]
+
+
+@dataclass(frozen=True)
+class ReorderingReport:
+    """Arrival-order inversions for one flow."""
+
+    delivered: int
+    #: Packets that arrived after a younger (higher-id) packet had arrived.
+    late_packets: int
+    #: Largest id gap a late packet arrived behind (reordering extent).
+    max_displacement: int
+    #: Number of distinct reordering episodes (maximal runs of late packets).
+    episodes: int
+
+    @property
+    def reordering_ratio(self) -> float:
+        return self.late_packets / self.delivered if self.delivered else 0.0
+
+
+def analyze_reordering(deliveries: Iterable[Delivery]) -> ReorderingReport:
+    """Classify deliveries (in arrival order) by send-order inversions."""
+    delivered = 0
+    late = 0
+    max_disp = 0
+    episodes = 0
+    high = -1
+    in_episode = False
+    for d in deliveries:
+        delivered += 1
+        if d.packet_id < high:
+            late += 1
+            max_disp = max(max_disp, high - d.packet_id)
+            if not in_episode:
+                episodes += 1
+                in_episode = True
+        else:
+            high = d.packet_id
+            in_episode = False
+    return ReorderingReport(
+        delivered=delivered,
+        late_packets=late,
+        max_displacement=max_disp,
+        episodes=episodes,
+    )

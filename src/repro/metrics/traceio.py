@@ -1,0 +1,136 @@
+"""Trace export/import: JSONL files for external analysis.
+
+The paper's methodology revolves around routing/forwarding trace files; this
+module writes the bus's typed records as JSON Lines (one record per line,
+``type`` field first) so they can be grepped, loaded into pandas, or diffed
+across runs — and reads them back into the same record types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, Union
+
+from ..sim.tracing import (
+    DropCause,
+    LinkEventRecord,
+    MessageRecord,
+    PacketRecord,
+    RouteChangeRecord,
+    TraceBus,
+)
+
+__all__ = ["write_trace", "read_trace", "export_bus"]
+
+Record = Union[PacketRecord, RouteChangeRecord, LinkEventRecord, MessageRecord]
+
+
+def _encode(record: Record) -> dict:
+    if isinstance(record, PacketRecord):
+        return {
+            "type": "packet",
+            "time": record.time,
+            "kind": record.kind,
+            "packet_id": record.packet_id,
+            "node": record.node,
+            "flow_id": record.flow_id,
+            "ttl": record.ttl,
+            "cause": record.cause.value if record.cause else None,
+        }
+    if isinstance(record, RouteChangeRecord):
+        return {
+            "type": "route",
+            "time": record.time,
+            "node": record.node,
+            "dest": record.dest,
+            "old_next_hop": record.old_next_hop,
+            "new_next_hop": record.new_next_hop,
+        }
+    if isinstance(record, LinkEventRecord):
+        return {
+            "type": "link",
+            "time": record.time,
+            "node_a": record.node_a,
+            "node_b": record.node_b,
+            "up": record.up,
+        }
+    if isinstance(record, MessageRecord):
+        return {
+            "type": "message",
+            "time": record.time,
+            "sender": record.sender,
+            "receiver": record.receiver,
+            "protocol": record.protocol,
+            "n_routes": record.n_routes,
+            "is_withdrawal": record.is_withdrawal,
+        }
+    raise TypeError(f"unknown record type {type(record).__name__}")
+
+
+def _decode(data: dict) -> Record:
+    kind = data.get("type")
+    if kind == "packet":
+        return PacketRecord(
+            time=data["time"],
+            kind=data["kind"],
+            packet_id=data["packet_id"],
+            node=data["node"],
+            flow_id=data["flow_id"],
+            ttl=data["ttl"],
+            cause=DropCause(data["cause"]) if data.get("cause") else None,
+        )
+    if kind == "route":
+        return RouteChangeRecord(
+            time=data["time"],
+            node=data["node"],
+            dest=data["dest"],
+            old_next_hop=data["old_next_hop"],
+            new_next_hop=data["new_next_hop"],
+        )
+    if kind == "link":
+        return LinkEventRecord(
+            time=data["time"],
+            node_a=data["node_a"],
+            node_b=data["node_b"],
+            up=data["up"],
+        )
+    if kind == "message":
+        return MessageRecord(
+            time=data["time"],
+            sender=data["sender"],
+            receiver=data["receiver"],
+            protocol=data["protocol"],
+            n_routes=data["n_routes"],
+            is_withdrawal=data["is_withdrawal"],
+        )
+    raise ValueError(f"unknown trace record type {kind!r}")
+
+
+def write_trace(records: Iterable[Record], fp: IO[str]) -> int:
+    """Write records as JSONL; returns the count written."""
+    count = 0
+    for record in records:
+        fp.write(json.dumps(_encode(record)) + "\n")
+        count += 1
+    return count
+
+
+def read_trace(fp: IO[str]) -> Iterator[Record]:
+    """Yield records from a JSONL trace file."""
+    for line in fp:
+        line = line.strip()
+        if line:
+            yield _decode(json.loads(line))
+
+
+def export_bus(bus: TraceBus, path: str) -> int:
+    """Dump everything a bus retained to ``path`` in time order."""
+    records: list[Record] = [
+        *bus.packets,
+        *bus.route_changes,
+        *bus.link_events,
+        *bus.messages,
+    ]
+    records.sort(key=lambda r: r.time)
+    with open(path, "w", encoding="utf-8") as f:
+        return write_trace(records, f)

@@ -1,0 +1,32 @@
+"""Packet-level network substrate: packets, queues, links, nodes, failures."""
+
+from .channels import ReliableChannel
+from .failure import DEFAULT_DETECTION_DELAY, FailureEvent, FailureInjector
+from .link import DEFAULT_QUEUE_CAPACITY, Link
+from .network import Network
+from .node import Node
+from .packet import (
+    CONTROL_HEADER_BYTES,
+    DATA_PACKET_BYTES,
+    DEFAULT_TTL,
+    Packet,
+    reset_packet_ids,
+)
+from .queues import DropTailQueue
+
+__all__ = [
+    "Packet",
+    "reset_packet_ids",
+    "DEFAULT_TTL",
+    "DATA_PACKET_BYTES",
+    "CONTROL_HEADER_BYTES",
+    "DropTailQueue",
+    "Link",
+    "DEFAULT_QUEUE_CAPACITY",
+    "Node",
+    "Network",
+    "FailureInjector",
+    "FailureEvent",
+    "DEFAULT_DETECTION_DELAY",
+    "ReliableChannel",
+]

@@ -1,0 +1,83 @@
+"""Reliable in-order neighbor channel (the TCP abstraction under BGP).
+
+BGP in the paper runs over TCP, so routing updates between neighbors are
+never lost or reordered while the link is up, and no periodic refresh is
+needed.  :class:`ReliableChannel` models exactly that contract:
+
+* messages are delivered in send order;
+* each message occupies the sender for ``size/bandwidth`` seconds (FIFO
+  serialization) and then propagates for the link delay;
+* messages still in flight when the link fails are destroyed (the TCP session
+  dies with the link), and the channel refuses sends while the link is down.
+
+Unlike data packets, reliable messages do not contend with the drop-tail
+queue — TCP's retransmission would win eventually anyway, and the paper's
+control plane is loss-free.  This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim.engine import EventHandle, Simulator
+from ..sim.units import transmission_delay
+from .link import Link
+
+__all__ = ["ReliableChannel"]
+
+
+class ReliableChannel:
+    """One direction of a reliable neighbor session."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        src: int,
+        deliver: Callable[[Any], None],
+    ) -> None:
+        self._sim = sim
+        self._link = link
+        self.src = src
+        self.dst = link.other_end(src)
+        self._deliver = deliver
+        self._busy_until = 0.0
+        self._in_flight: list[EventHandle] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        link.fail_listeners.append(self._on_link_fail)
+
+    @property
+    def connected(self) -> bool:
+        return self._link.up
+
+    def send(self, payload: Any, size_bytes: int) -> bool:
+        """Queue ``payload`` for in-order delivery; False if the session is down."""
+        if not self._link.up:
+            return False
+        now = self._sim.now
+        start = max(now, self._busy_until)
+        tx = transmission_delay(size_bytes, self._link.spec.bandwidth)
+        self._busy_until = start + tx
+        arrive_at = self._busy_until + self._link.spec.delay
+        handle = self._sim.schedule_at(arrive_at, lambda: self._arrive(payload))
+        self._in_flight.append(handle)
+        self.messages_sent += 1
+        return True
+
+    def _arrive(self, payload: Any) -> None:
+        self._in_flight = [h for h in self._in_flight if h.pending]
+        if not self._link.up:
+            self.messages_lost += 1
+            return
+        self.messages_delivered += 1
+        self._deliver(payload)
+
+    def _on_link_fail(self) -> None:
+        for handle in self._in_flight:
+            if handle.pending:
+                handle.cancel()
+                self.messages_lost += 1
+        self._in_flight.clear()
+        self._busy_until = self._sim.now

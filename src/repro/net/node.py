@@ -1,0 +1,249 @@
+"""Router/host node.
+
+A :class:`Node` owns a FIB (``destination -> next hop``), its attached links,
+at most one routing protocol, and any local applications (traffic sinks).
+Forwarding follows the paper's §4 description exactly: as long as a packet's
+TTL is positive and the router knows *some* next hop, the packet is forwarded
+and the TTL decremented — regardless of whether routing has converged.
+
+Drop accounting:
+
+* ``NO_ROUTE``     — FIB miss (the router is inside its path switch-over period)
+* ``TTL_EXPIRED``  — TTL hit zero (transient forwarding loop)
+* ``QUEUE_OVERFLOW`` / ``LINK_DOWN`` — charged by the link machinery
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Protocol as TypingProtocol
+
+from ..sim.engine import Simulator
+from ..sim.tracing import DropCause, PacketRecord, RouteChangeRecord, TraceBus
+from .packet import Packet
+from .link import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routing.base import RoutingProtocol
+
+__all__ = ["Node", "PacketApp"]
+
+
+class PacketApp(TypingProtocol):
+    """Anything that consumes locally delivered data packets."""
+
+    def on_packet(self, packet: Packet, node: "Node") -> None: ...
+
+
+class Node:
+    """One router (or stub host) in the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        bus: TraceBus,
+        record_paths: bool = False,
+        record_forwards: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.id = node_id
+        self.bus = bus
+        self.record_paths = record_paths
+        self.record_forwards = record_forwards
+        self.links: dict[int, Link] = {}
+        self.fib: dict[int, Optional[int]] = {}
+        self.protocol: Optional["RoutingProtocol"] = None
+        self.apps: list[PacketApp] = []
+        # Counters (data packets only).
+        self.delivered = 0
+        self.originated = 0
+        self.forwarded = 0
+        self.drops: dict[DropCause, int] = {cause: 0 for cause in DropCause}
+
+    # ------------------------------------------------------------------ wiring
+
+    def add_link(self, neighbor: int, link: Link) -> None:
+        if neighbor in self.links:
+            raise ValueError(f"node {self.id} already linked to {neighbor}")
+        self.links[neighbor] = link
+
+    def neighbors(self) -> list[int]:
+        """Directly connected neighbor ids, sorted for determinism."""
+        return sorted(self.links)
+
+    def up_neighbors(self) -> list[int]:
+        """Neighbors whose connecting link is currently up."""
+        return sorted(n for n, l in self.links.items() if l.up)
+
+    def link_to(self, neighbor: int) -> Link:
+        return self.links[neighbor]
+
+    def attach_protocol(self, protocol: "RoutingProtocol") -> None:
+        if self.protocol is not None:
+            raise ValueError(f"node {self.id} already has a protocol")
+        self.protocol = protocol
+
+    def attach_app(self, app: PacketApp) -> None:
+        self.apps.append(app)
+
+    # ------------------------------------------------------------------- FIB
+
+    def next_hop(self, dest: int) -> Optional[int]:
+        """Current next hop toward ``dest`` (None = no route)."""
+        return self.fib.get(dest)
+
+    def set_next_hop(self, dest: int, next_hop: Optional[int]) -> None:
+        """Install/replace the FIB entry, publishing a route-change record."""
+        old = self.fib.get(dest)
+        if old == next_hop:
+            return
+        if next_hop is None:
+            self.fib.pop(dest, None)
+        else:
+            if next_hop not in self.links:
+                raise ValueError(
+                    f"node {self.id}: next hop {next_hop} is not a neighbor"
+                )
+            self.fib[dest] = next_hop
+        self.bus.publish(
+            RouteChangeRecord(
+                time=self.sim.now,
+                node=self.id,
+                dest=dest,
+                old_next_hop=old,
+                new_next_hop=next_hop,
+            )
+        )
+
+    # ------------------------------------------------------------- data plane
+
+    def originate(self, packet: Packet) -> None:
+        """Inject a locally generated data packet into the network."""
+        if not packet.is_data:
+            raise ValueError("originate() is for data packets")
+        packet.send_time = self.sim.now
+        self.originated += 1
+        if self.record_paths:
+            packet.hops.append(self.id)
+        self.bus.publish(
+            PacketRecord(
+                time=self.sim.now,
+                kind="send",
+                packet_id=packet.packet_id,
+                node=self.id,
+                flow_id=packet.flow_id,
+                ttl=packet.ttl,
+            )
+        )
+        if packet.dst == self.id:
+            self._deliver_local(packet)
+            return
+        self._lookup_and_transmit(packet)
+
+    def receive(self, packet: Packet, from_node: int) -> None:
+        """Entry point for packets arriving off a link."""
+        if packet.is_control:
+            if self.protocol is not None:
+                self.protocol.handle_message(packet.payload, from_node)
+            return
+        if packet.dst == self.id:
+            self._deliver_local(packet)
+            return
+        self._forward(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.drop(packet, DropCause.TTL_EXPIRED)
+            return
+        if self.record_paths:
+            packet.hops.append(self.id)
+        if self.record_forwards:
+            self.bus.publish(
+                PacketRecord(
+                    time=self.sim.now,
+                    kind="forward",
+                    packet_id=packet.packet_id,
+                    node=self.id,
+                    flow_id=packet.flow_id,
+                    ttl=packet.ttl,
+                )
+            )
+        self.forwarded += 1
+        self._lookup_and_transmit(packet)
+
+    def _lookup_and_transmit(self, packet: Packet) -> None:
+        nh = self.fib.get(packet.dst)
+        if nh is None:
+            self.drop(packet, DropCause.NO_ROUTE)
+            return
+        link = self.links.get(nh)
+        if link is None:
+            self.drop(packet, DropCause.NO_ROUTE)
+            return
+        link.transmit(self.id, packet)
+
+    def _deliver_local(self, packet: Packet) -> None:
+        self.delivered += 1
+        if self.record_paths:
+            packet.hops.append(self.id)
+        self.bus.publish(
+            PacketRecord(
+                time=self.sim.now,
+                kind="deliver",
+                packet_id=packet.packet_id,
+                node=self.id,
+                flow_id=packet.flow_id,
+                ttl=packet.ttl,
+            )
+        )
+        for app in self.apps:
+            app.on_packet(packet, self)
+
+    def drop(self, packet: Packet, cause: DropCause) -> None:
+        """Account a packet death at this node."""
+        if packet.is_data:
+            self.drops[cause] += 1
+            self.bus.publish(
+                PacketRecord(
+                    time=self.sim.now,
+                    kind="drop",
+                    packet_id=packet.packet_id,
+                    node=self.id,
+                    flow_id=packet.flow_id,
+                    ttl=packet.ttl,
+                    cause=cause,
+                )
+            )
+
+    # ---------------------------------------------------------- control plane
+
+    def send_control(self, neighbor: int, payload: Any, size_bytes: int, protocol: str) -> None:
+        """Send a routing-protocol message to a directly connected neighbor."""
+        link = self.links.get(neighbor)
+        if link is None:
+            raise ValueError(f"node {self.id}: {neighbor} is not a neighbor")
+        packet = Packet(
+            src=self.id,
+            dst=neighbor,
+            kind="control",
+            ttl=1,
+            size_bytes=size_bytes,
+            flow_id=-1,
+            payload=payload,
+            protocol=protocol,
+            send_time=self.sim.now,
+        )
+        link.transmit(self.id, packet)
+
+    def on_link_down(self, neighbor: int) -> None:
+        """Failure detection fired for the link to ``neighbor``."""
+        if self.protocol is not None:
+            self.protocol.handle_link_down(neighbor)
+
+    def on_link_up(self, neighbor: int) -> None:
+        if self.protocol is not None:
+            self.protocol.handle_link_up(neighbor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.id} nbrs={self.neighbors()}>"

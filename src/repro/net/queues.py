@@ -1,0 +1,59 @@
+"""Drop-tail FIFO output queue.
+
+Each directed link channel owns one.  Capacity counts packets (the paper's
+simulator used a 20-packet queue per node); arrivals beyond capacity are
+rejected and accounted as ``QUEUE_OVERFLOW`` drops by the caller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .packet import Packet
+
+__all__ = ["DropTailQueue"]
+
+
+class DropTailQueue:
+    """Bounded FIFO of packets."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, packet: Packet) -> bool:
+        """Append if there is room; returns False (and counts a drop) if full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self._items.append(packet)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def drain(self) -> list[Packet]:
+        """Remove and return all queued packets (used on link failure)."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,57 @@
+"""Routing protocols: RIP, DBF, BGP (+BGP-3), SPF extension, static baseline."""
+
+from .base import RoutingProtocol
+from .bgp import BgpConfig, BgpProtocol
+from .damping import DampingConfig, RouteDampener
+from .dbf import DbfProtocol
+from .dual import DualProtocol, DualQuery, DualReply, DualUpdate
+from .dv_common import DistanceVectorConfig, DistanceVectorProtocol
+from .messages import (
+    DV_MAX_ROUTES_PER_MESSAGE,
+    DistanceVectorUpdate,
+    PathVectorUpdate,
+    PathVectorWithdrawal,
+    pack_distance_vector,
+    pack_path_vector,
+)
+from .rib import (
+    RIP_INFINITY,
+    DistanceVectorRoute,
+    NeighborVectorCache,
+    PathAttr,
+    best_vector_choice,
+)
+from .rip import RipProtocol
+from .spf import Lsa, SpfConfig, SpfProtocol
+from .static import StaticProtocol
+
+__all__ = [
+    "RoutingProtocol",
+    "RipProtocol",
+    "DbfProtocol",
+    "DualProtocol",
+    "DualUpdate",
+    "DualQuery",
+    "DualReply",
+    "BgpProtocol",
+    "BgpConfig",
+    "DampingConfig",
+    "RouteDampener",
+    "SpfProtocol",
+    "SpfConfig",
+    "Lsa",
+    "StaticProtocol",
+    "DistanceVectorProtocol",
+    "DistanceVectorConfig",
+    "DistanceVectorUpdate",
+    "PathVectorUpdate",
+    "PathVectorWithdrawal",
+    "pack_distance_vector",
+    "pack_path_vector",
+    "DV_MAX_ROUTES_PER_MESSAGE",
+    "RIP_INFINITY",
+    "DistanceVectorRoute",
+    "NeighborVectorCache",
+    "PathAttr",
+    "best_vector_choice",
+]

@@ -1,0 +1,96 @@
+"""Routing protocol interface and shared plumbing.
+
+Every protocol instance is bound to one node.  The node calls
+:meth:`handle_message` for arriving control payloads and
+:meth:`handle_link_down` / :meth:`handle_link_up` when failure detection
+fires; the protocol drives the node's FIB via ``node.set_next_hop``.
+
+``warm_start`` installs the protocol's exact converged state for a topology,
+letting experiments skip the multi-minute cold-start period; integration
+tests verify warm state equals what cold convergence reaches.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Optional
+
+from ..net.node import Node
+from ..sim.engine import Simulator
+from ..sim.rng import RngStreams
+from ..sim.tracing import MessageRecord
+from ..topology.graph import Topology
+
+__all__ = ["RoutingProtocol"]
+
+
+class RoutingProtocol(abc.ABC):
+    """Base class for the routing protocols under study."""
+
+    #: Human-readable protocol name ("rip", "dbf", "bgp", ...); set by subclass.
+    name: str = "abstract"
+
+    def __init__(self, node: Node, rng_streams: RngStreams) -> None:
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.rng: random.Random = rng_streams.stream(f"{self.name}.node{node.id}")
+        self.messages_sent = 0
+        self.routes_sent = 0
+        node.attach_protocol(self)
+
+    # --------------------------------------------------------------- lifecycle
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Begin protocol operation from empty state (cold start)."""
+
+    @abc.abstractmethod
+    def warm_start(self, topology: Topology) -> None:
+        """Install converged state for ``topology`` and arm steady-state timers."""
+
+    # ---------------------------------------------------------------- events
+
+    @abc.abstractmethod
+    def handle_message(self, payload: Any, from_node: int) -> None:
+        """Process a routing message from a directly connected neighbor."""
+
+    @abc.abstractmethod
+    def handle_link_down(self, neighbor: int) -> None:
+        """The link to ``neighbor`` was detected down."""
+
+    def handle_link_up(self, neighbor: int) -> None:
+        """The link to ``neighbor`` came (back) up.  Default: ignore."""
+
+    # -------------------------------------------------------------- inspection
+
+    @abc.abstractmethod
+    def route_metric(self, dest: int) -> Optional[int]:
+        """Current metric/path length to ``dest`` (None if unreachable)."""
+
+    # ---------------------------------------------------------------- helpers
+
+    def link_costs(self, only_up: bool = True) -> dict[int, int]:
+        """Map of neighbor -> link cost (up links only by default)."""
+        costs = {}
+        for nbr in self.node.neighbors():
+            link = self.node.link_to(nbr)
+            if only_up and not link.up:
+                continue
+            costs[nbr] = link.spec.cost
+        return costs
+
+    def _record_message(self, neighbor: int, n_routes: int, is_withdrawal: bool = False) -> None:
+        """Account one sent message for overhead metrics."""
+        self.messages_sent += 1
+        self.routes_sent += n_routes
+        self.node.bus.publish(
+            MessageRecord(
+                time=self.sim.now,
+                sender=self.node.id,
+                receiver=neighbor,
+                protocol=self.name,
+                n_routes=n_routes,
+                is_withdrawal=is_withdrawal,
+            )
+        )

@@ -1,0 +1,145 @@
+"""Route flap damping (RFC 2439 style), an optional BGP feature.
+
+The paper's introduction flags damping as a double-edged sword: richer
+connectivity means more alternate paths, but path exploration during
+convergence looks like flapping, and damping then *suppresses* the very
+routes convergence needs (Bush/Griffin/Mao, RIPE-43; Mao et al., SIGCOMM
+2002 — the paper's [4] and [15]).  This module implements the standard
+penalty machinery so the effect is measurable in our harness:
+
+* each withdrawal adds ``withdrawal_penalty``; each re-advertisement that
+  changes the path adds ``readvertisement_penalty``;
+* the penalty decays exponentially with ``half_life``;
+* when it crosses ``suppress_threshold`` the route (per neighbor,
+  destination) is suppressed — excluded from best-path selection — until the
+  penalty decays to ``reuse_threshold`` (bounded by ``max_suppress_time``).
+
+Defaults are scaled to the paper's experiment timescale (its convergence
+windows are ~a minute, not the quarter-hour of production half-lives).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from ..sim.engine import EventHandle, Simulator
+
+__all__ = ["DampingConfig", "RouteDampener"]
+
+
+@dataclass(frozen=True)
+class DampingConfig:
+    """Penalty thresholds and decay, RFC 2439 vocabulary."""
+
+    suppress_threshold: float = 2000.0
+    reuse_threshold: float = 750.0
+    half_life: float = 60.0
+    withdrawal_penalty: float = 1000.0
+    readvertisement_penalty: float = 500.0
+    max_suppress_time: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.reuse_threshold <= 0 or self.suppress_threshold <= self.reuse_threshold:
+            raise ValueError("need 0 < reuse_threshold < suppress_threshold")
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if self.withdrawal_penalty < 0 or self.readvertisement_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+        if self.max_suppress_time <= 0:
+            raise ValueError("max_suppress_time must be positive")
+
+
+class _DampState:
+    __slots__ = ("penalty", "updated_at", "suppressed", "reuse_handle")
+
+    def __init__(self) -> None:
+        self.penalty = 0.0
+        self.updated_at = 0.0
+        self.suppressed = False
+        self.reuse_handle: Optional[EventHandle] = None
+
+
+class RouteDampener:
+    """Per-key flap accounting with suppression/reuse callbacks.
+
+    Keys are ``(neighbor, destination)`` pairs in the BGP integration, but
+    any hashable works.  ``on_reuse(key)`` fires when a suppressed key
+    becomes usable again.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DampingConfig,
+        on_reuse: Callable[[Hashable], None],
+    ) -> None:
+        self._sim = sim
+        self.config = config
+        self._on_reuse = on_reuse
+        self._state: dict[Hashable, _DampState] = {}
+        self.suppressions = 0
+
+    # ------------------------------------------------------------- recording
+
+    def record_withdrawal(self, key: Hashable) -> None:
+        self._add_penalty(key, self.config.withdrawal_penalty)
+
+    def record_readvertisement(self, key: Hashable) -> None:
+        self._add_penalty(key, self.config.readvertisement_penalty)
+
+    def _add_penalty(self, key: Hashable, amount: float) -> None:
+        state = self._state.setdefault(key, _DampState())
+        state.penalty = self._decayed(state) + amount
+        state.updated_at = self._sim.now
+        if not state.suppressed and state.penalty >= self.config.suppress_threshold:
+            self._suppress(key, state)
+
+    # ------------------------------------------------------------ inspection
+
+    def is_suppressed(self, key: Hashable) -> bool:
+        state = self._state.get(key)
+        return state is not None and state.suppressed
+
+    def penalty(self, key: Hashable) -> float:
+        state = self._state.get(key)
+        return self._decayed(state) if state is not None else 0.0
+
+    def forget(self, key_prefix: Hashable) -> None:
+        """Drop all state whose key is ``key_prefix`` or starts with it
+        (used when a neighbor session dies)."""
+        for key in list(self._state):
+            matches = key == key_prefix or (
+                isinstance(key, tuple) and key and key[0] == key_prefix
+            )
+            if matches:
+                state = self._state.pop(key)
+                if state.reuse_handle is not None:
+                    state.reuse_handle.cancel()
+
+    # -------------------------------------------------------------- internals
+
+    def _decayed(self, state: _DampState) -> float:
+        age = self._sim.now - state.updated_at
+        return state.penalty * 0.5 ** (age / self.config.half_life)
+
+    def _suppress(self, key: Hashable, state: _DampState) -> None:
+        state.suppressed = True
+        self.suppressions += 1
+        # Time for the penalty to decay to the reuse threshold.
+        ratio = state.penalty / self.config.reuse_threshold
+        wait = min(
+            self.config.half_life * math.log2(ratio), self.config.max_suppress_time
+        )
+        state.reuse_handle = self._sim.schedule(wait, lambda: self._reuse(key))
+
+    def _reuse(self, key: Hashable) -> None:
+        state = self._state.get(key)
+        if state is None or not state.suppressed:
+            return
+        state.suppressed = False
+        state.penalty = self._decayed(state)
+        state.updated_at = self._sim.now
+        state.reuse_handle = None
+        self._on_reuse(key)

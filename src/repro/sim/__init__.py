@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (engine, timers, RNG, tracing)."""
+
+from .engine import EventHandle, SimulationError, Simulator
+from .rng import RngStreams
+from .timers import JitteredInterval, OneShotTimer, PeriodicTimer
+from .tracing import (
+    DropCause,
+    LinkEventRecord,
+    MessageRecord,
+    PacketRecord,
+    RouteChangeRecord,
+    TraceBus,
+)
+from . import units
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimulationError",
+    "RngStreams",
+    "JitteredInterval",
+    "OneShotTimer",
+    "PeriodicTimer",
+    "DropCause",
+    "PacketRecord",
+    "RouteChangeRecord",
+    "LinkEventRecord",
+    "MessageRecord",
+    "TraceBus",
+    "units",
+]

@@ -1,0 +1,155 @@
+"""Discrete-event simulation engine.
+
+A :class:`Simulator` owns virtual time and a binary-heap event queue.  Events
+are callbacks scheduled at absolute or relative times; ties are broken by
+insertion order so execution is fully deterministic.  Cancellation is done
+lazily: :meth:`EventHandle.cancel` marks the entry and the main loop skips it.
+
+This is the substrate every other package builds on (links schedule packet
+arrivals, protocols schedule timers, traffic sources schedule departures).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduler use (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Cancelable reference to a scheduled event."""
+
+    __slots__ = ("time", "callback", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call repeatedly."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to fire."""
+        return not self._cancelled and not self._fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<EventHandle t={self.time:.6f} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("hello at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (skipped cancellations excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries not yet popped (includes cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` loop after the current event returns."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is drained."""
+        while self._queue and self._queue[0].handle.cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in order until the queue drains, ``until`` is reached,
+        or ``max_events`` have executed.
+
+        Returns the number of events executed by this call.  When ``until`` is
+        given, virtual time is advanced to exactly ``until`` on return even if
+        the queue drained earlier, so repeated ``run(until=...)`` calls form a
+        contiguous timeline.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                entry = self._queue[0]
+                if entry.handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = entry.time
+                entry.handle._fired = True
+                entry.handle.callback()
+                executed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return executed

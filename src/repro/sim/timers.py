@@ -1,0 +1,128 @@
+"""Timer helpers layered over the event engine.
+
+Routing protocols are timer machines: RIP has periodic and timeout timers,
+RIP/DBF damp triggered updates with a random holddown, BGP rate-limits with
+per-neighbor MRAI timers.  These classes capture the three shapes used in the
+paper so protocol code stays declarative.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .engine import EventHandle, Simulator
+
+__all__ = ["OneShotTimer", "PeriodicTimer", "JitteredInterval"]
+
+
+class JitteredInterval:
+    """An interval drawn uniformly from ``[base - jitter, base + jitter]``.
+
+    Used for RIP periodic updates (30 s +/- jitter), triggered-update damping
+    (U(1, 5) expressed as base 3, jitter 2) and BGP MRAI (U(25, 35) or
+    U(2.5, 3.5) in the paper's two parameterizations).
+    """
+
+    def __init__(self, base: float, jitter: float, rng: random.Random) -> None:
+        if base <= 0:
+            raise ValueError(f"base interval must be positive, got {base}")
+        if jitter < 0 or jitter > base:
+            raise ValueError(f"jitter must be within [0, base], got {jitter}")
+        self.base = base
+        self.jitter = jitter
+        self._rng = rng
+
+    def sample(self) -> float:
+        """Draw one interval."""
+        if self.jitter == 0:
+            return self.base
+        return self._rng.uniform(self.base - self.jitter, self.base + self.jitter)
+
+    @property
+    def mean(self) -> float:
+        return self.base
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JitteredInterval(base={self.base}, jitter={self.jitter})"
+
+
+class OneShotTimer:
+    """Restartable single-fire timer.
+
+    ``start`` (re)arms the timer; ``cancel`` disarms it.  The ``running``
+    property lets protocols implement "if the damping timer is already
+    running, just mark more work pending" logic directly.
+    """
+
+    def __init__(self, sim: Simulator, action: Callable[[], None]) -> None:
+        self._sim = sim
+        self._action = action
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute fire time while running, else None."""
+        return self._handle.time if self.running else None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm to fire ``delay`` seconds from now, replacing any pending fire."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._action()
+
+
+class PeriodicTimer:
+    """Repeating timer with per-cycle jittered intervals.
+
+    Each cycle's length is drawn independently from ``interval`` — this is how
+    RFC 2453 spaces periodic updates to avoid synchronization between routers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: JitteredInterval,
+        action: Callable[[], None],
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._action = action
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start the cycle; first fire after ``initial_delay`` (default: one
+        sampled interval)."""
+        self.stop()
+        self._running = True
+        delay = self._interval.sample() if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._handle = self._sim.schedule(self._interval.sample(), self._fire)
+        self._action()

@@ -1,0 +1,137 @@
+"""Structured trace records and the trace bus.
+
+The paper's methodology is trace-driven: it studies "the forwarding and
+routing trace files" to attribute every drop and loop to a cause.  We mirror
+that with typed records published on a :class:`TraceBus`.  Metric collectors
+subscribe to the kinds they care about; retention of full in-memory traces is
+opt-in so large sweeps stay cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "DropCause",
+    "PacketRecord",
+    "RouteChangeRecord",
+    "LinkEventRecord",
+    "MessageRecord",
+    "TraceBus",
+]
+
+
+class DropCause(enum.Enum):
+    """Why a data packet died.  Mirrors the paper's drop attribution."""
+
+    NO_ROUTE = "no_route"  # router had no next hop (path switch-over period)
+    TTL_EXPIRED = "ttl_expired"  # routing loop consumed the TTL
+    QUEUE_OVERFLOW = "queue_overflow"  # drop-tail queue was full
+    LINK_DOWN = "link_down"  # in flight on (or sent into) a failed link
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One packet lifecycle event.
+
+    ``kind`` is one of ``"send"`` (entered the network at the source),
+    ``"forward"`` (relayed by a router), ``"deliver"`` (reached the sink) or
+    ``"drop"``.
+    """
+
+    time: float
+    kind: str
+    packet_id: int
+    node: int
+    flow_id: int
+    ttl: int
+    cause: Optional[DropCause] = None
+
+
+@dataclass(frozen=True)
+class RouteChangeRecord:
+    """A node's FIB next hop for ``dest`` changed (None = unreachable)."""
+
+    time: float
+    node: int
+    dest: int
+    old_next_hop: Optional[int]
+    new_next_hop: Optional[int]
+
+
+@dataclass(frozen=True)
+class LinkEventRecord:
+    """A link changed operational state (``up`` True/False)."""
+
+    time: float
+    node_a: int
+    node_b: int
+    up: bool
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """A routing-protocol message was sent (for overhead accounting)."""
+
+    time: float
+    sender: int
+    receiver: int
+    protocol: str
+    n_routes: int
+    is_withdrawal: bool = False
+
+
+_Record = object
+
+
+class TraceBus:
+    """Publish/subscribe hub for trace records.
+
+    ``keep_packets`` / ``keep_routes`` / ``keep_messages`` control whether the
+    bus also retains full record lists for after-the-fact analysis (hop path
+    reconstruction, loop detection).  Subscribers always see every record.
+    """
+
+    def __init__(
+        self,
+        keep_packets: bool = False,
+        keep_routes: bool = True,
+        keep_messages: bool = False,
+    ) -> None:
+        self._subscribers: dict[type, list[Callable[[object], None]]] = {}
+        self.keep_packets = keep_packets
+        self.keep_routes = keep_routes
+        self.keep_messages = keep_messages
+        self.packets: list[PacketRecord] = []
+        self.route_changes: list[RouteChangeRecord] = []
+        self.link_events: list[LinkEventRecord] = []
+        self.messages: list[MessageRecord] = []
+
+    def subscribe(self, record_type: type, handler: Callable[[object], None]) -> None:
+        """Call ``handler(record)`` for every published record of ``record_type``."""
+        self._subscribers.setdefault(record_type, []).append(handler)
+
+    def publish(self, record: object) -> None:
+        """Dispatch a record to retention lists and subscribers."""
+        if isinstance(record, PacketRecord):
+            if self.keep_packets:
+                self.packets.append(record)
+        elif isinstance(record, RouteChangeRecord):
+            if self.keep_routes:
+                self.route_changes.append(record)
+        elif isinstance(record, LinkEventRecord):
+            self.link_events.append(record)
+        elif isinstance(record, MessageRecord):
+            if self.keep_messages:
+                self.messages.append(record)
+        for handler in self._subscribers.get(type(record), ()):
+            handler(record)
+
+    def clear(self) -> None:
+        """Drop retained records (subscriptions are kept)."""
+        self.packets.clear()
+        self.route_changes.clear()
+        self.link_events.clear()
+        self.messages.clear()

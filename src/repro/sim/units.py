@@ -1,0 +1,43 @@
+"""Units and shared constants for the simulator.
+
+All simulation time is measured in seconds (floats).  These helpers exist so
+that configuration code reads like the paper ("1 ms propagation delay",
+"1 Mbps links") instead of bare magic numbers.
+"""
+
+from __future__ import annotations
+
+#: One millisecond, in seconds.
+MILLISECONDS = 1e-3
+
+#: One microsecond, in seconds.
+MICROSECONDS = 1e-6
+
+#: One second.
+SECONDS = 1.0
+
+#: One minute, in seconds.
+MINUTES = 60.0
+
+#: Bits per kilobit / megabit (network convention: powers of ten).
+KILOBITS = 1_000
+MEGABITS = 1_000_000
+
+#: Bytes in a kilobyte for packet sizing (network convention: powers of ten).
+KILOBYTES = 1_000
+
+#: Bits per byte.
+BITS_PER_BYTE = 8
+
+
+def transmission_delay(size_bytes: int, bandwidth_bps: float) -> float:
+    """Time (seconds) to serialize ``size_bytes`` onto a link of ``bandwidth_bps``.
+
+    >>> transmission_delay(500, 1 * MEGABITS)
+    0.004
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return (size_bytes * BITS_PER_BYTE) / bandwidth_bps

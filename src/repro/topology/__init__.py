@@ -1,0 +1,53 @@
+"""Topology models and generators (Baran regular meshes + standard graphs)."""
+
+from .graph import (
+    LinkSpec,
+    Topology,
+    all_shortest_path_trees,
+    merge,
+    shortest_path_tree,
+)
+from .generators import (
+    attach_host,
+    complete,
+    from_networkx,
+    line,
+    random_regular,
+    ring,
+    star,
+    waxman,
+)
+from .mesh import MAX_DEGREE, MIN_DEGREE, interior_nodes, node_at, regular_mesh
+from .render import render_mesh
+from .validate import (
+    TopologyError,
+    check_connected,
+    check_interior_degree,
+    degree_histogram,
+)
+
+__all__ = [
+    "LinkSpec",
+    "Topology",
+    "merge",
+    "shortest_path_tree",
+    "all_shortest_path_trees",
+    "regular_mesh",
+    "render_mesh",
+    "interior_nodes",
+    "node_at",
+    "MIN_DEGREE",
+    "MAX_DEGREE",
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "random_regular",
+    "waxman",
+    "from_networkx",
+    "attach_host",
+    "TopologyError",
+    "check_connected",
+    "check_interior_degree",
+    "degree_histogram",
+]

@@ -1,0 +1,144 @@
+"""Auxiliary topology generators.
+
+The paper's sweeps all use :func:`repro.topology.mesh.regular_mesh`; these
+generators support unit tests, examples and extension experiments (random
+regular graphs let us check that the mesh results are not an artifact of the
+lattice structure).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from ..sim import units
+from .graph import LinkSpec, Topology
+
+__all__ = [
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "random_regular",
+    "waxman",
+    "attach_host",
+    "from_networkx",
+]
+
+
+def _standard_link(a: int, b: int, **attrs) -> LinkSpec:
+    defaults = dict(cost=1, delay=1 * units.MILLISECONDS, bandwidth=1 * units.MEGABITS)
+    defaults.update(attrs)
+    return LinkSpec(a, b, **defaults)
+
+
+def line(n: int, **attrs) -> Topology:
+    """Path graph 0-1-...-(n-1)."""
+    if n < 2:
+        raise ValueError(f"line needs >= 2 nodes, got {n}")
+    topo = Topology(name=f"line-{n}")
+    for i in range(n - 1):
+        topo.add_link(_standard_link(i, i + 1, **attrs))
+    return topo
+
+
+def ring(n: int, **attrs) -> Topology:
+    """Cycle graph on n nodes."""
+    if n < 3:
+        raise ValueError(f"ring needs >= 3 nodes, got {n}")
+    topo = Topology(name=f"ring-{n}")
+    for i in range(n):
+        topo.add_link(_standard_link(i, (i + 1) % n, **attrs))
+    return topo
+
+
+def star(n_leaves: int, **attrs) -> Topology:
+    """Hub node 0 connected to leaves 1..n."""
+    if n_leaves < 1:
+        raise ValueError(f"star needs >= 1 leaf, got {n_leaves}")
+    topo = Topology(name=f"star-{n_leaves}")
+    for i in range(1, n_leaves + 1):
+        topo.add_link(_standard_link(0, i, **attrs))
+    return topo
+
+
+def complete(n: int, **attrs) -> Topology:
+    """Complete graph on n nodes."""
+    if n < 2:
+        raise ValueError(f"complete needs >= 2 nodes, got {n}")
+    topo = Topology(name=f"complete-{n}")
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.add_link(_standard_link(i, j, **attrs))
+    return topo
+
+
+def random_regular(
+    n: int, degree: int, seed: int, rng: Optional[random.Random] = None, **attrs
+) -> Topology:
+    """Connected random ``degree``-regular graph (retries seeds until connected)."""
+    if n * degree % 2 != 0:
+        raise ValueError(f"n*degree must be even, got n={n} degree={degree}")
+    if degree >= n:
+        raise ValueError(f"degree must be < n, got degree={degree} n={n}")
+    attempt_seed = seed
+    for _ in range(100):
+        graph = nx.random_regular_graph(degree, n, seed=attempt_seed)
+        if nx.is_connected(graph):
+            topo = from_networkx(graph, name=f"rr-{n}-d{degree}-s{seed}", **attrs)
+            return topo
+        attempt_seed += 1
+    raise RuntimeError(f"no connected {degree}-regular graph found from seed {seed}")
+
+
+def waxman(
+    n: int,
+    seed: int,
+    alpha: float = 0.5,
+    beta: float = 0.25,
+    **attrs,
+) -> Topology:
+    """Connected Waxman random graph (the classic network-simulation model).
+
+    Retries seeds until the sampled graph is connected; link probability
+    decays with Euclidean distance (``alpha`` scales density, ``beta`` the
+    decay length).
+    """
+    if n < 2:
+        raise ValueError(f"waxman needs >= 2 nodes, got {n}")
+    attempt = seed
+    for _ in range(100):
+        graph = nx.waxman_graph(n, alpha=alpha, beta=beta, seed=attempt)
+        if nx.is_connected(graph):
+            return from_networkx(graph, name=f"waxman-{n}-s{seed}", **attrs)
+        attempt += 1
+    raise RuntimeError(f"no connected Waxman graph found from seed {seed}")
+
+
+def from_networkx(graph: nx.Graph, name: str = "imported", **attrs) -> Topology:
+    """Convert an undirected networkx graph of integer nodes."""
+    topo = Topology(name=name)
+    for node in graph.nodes:
+        topo.add_node(int(node))
+    for a, b in graph.edges:
+        topo.add_link(_standard_link(int(a), int(b), **attrs))
+    return topo
+
+
+def attach_host(topo: Topology, router: int, host: Optional[int] = None, **attrs) -> int:
+    """Attach a stub host (degree-1 node) to ``router`` via an access link.
+
+    Returns the host's node id (``max(nodes) + 1`` when not given).  The paper
+    attaches the sender and receiver this way to routers on the first and last
+    mesh rows.
+    """
+    if router not in topo.nodes:
+        raise ValueError(f"router {router} not in topology {topo.name}")
+    if host is None:
+        host = max(topo.nodes) + 1
+    if host in topo.nodes:
+        raise ValueError(f"host id {host} already used")
+    topo.add_link(_standard_link(router, host, **attrs))
+    return host

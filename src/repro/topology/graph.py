@@ -1,0 +1,227 @@
+"""Topology model.
+
+A :class:`Topology` is an undirected multigraph-free graph of integer node
+ids with per-link attributes (cost, propagation delay, bandwidth).  It is a
+pure description — the network substrate (:mod:`repro.net`) instantiates the
+live simulation objects from it, and the analysis helpers convert it to a
+``networkx`` graph for shortest-path queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from ..sim import units
+
+__all__ = [
+    "LinkSpec",
+    "Topology",
+    "shortest_path_tree",
+    "all_shortest_path_trees",
+    "merge",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A bidirectional link between two nodes.
+
+    Defaults match the paper's simulation setup: unit cost, 1 ms propagation
+    delay, 1 Mbps transmission rate.
+    """
+
+    a: int
+    b: int
+    cost: int = 1
+    delay: float = 1 * units.MILLISECONDS
+    bandwidth: float = 1 * units.MEGABITS
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"self-loop on node {self.a}")
+        if self.cost <= 0:
+            raise ValueError(f"link cost must be positive, got {self.cost}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """Canonical (min, max) endpoint pair."""
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+
+@dataclass
+class Topology:
+    """Named collection of nodes and links."""
+
+    name: str = "topology"
+    nodes: set[int] = field(default_factory=set)
+    links: dict[tuple[int, int], LinkSpec] = field(default_factory=dict)
+    #: Optional (row, col) positions for mesh topologies (rendering/tests).
+    positions: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    def add_node(self, node: int, position: Optional[tuple[int, int]] = None) -> None:
+        self.nodes.add(node)
+        if position is not None:
+            self.positions[node] = position
+
+    def add_link(self, spec: LinkSpec) -> None:
+        """Add a link; endpoints are auto-added as nodes."""
+        key = spec.endpoints
+        if key in self.links:
+            raise ValueError(f"duplicate link {key} in {self.name}")
+        self.links[key] = spec
+        self.nodes.add(spec.a)
+        self.nodes.add(spec.b)
+
+    def connect(self, a: int, b: int, **attrs) -> LinkSpec:
+        """Convenience: create and add a :class:`LinkSpec`."""
+        spec = LinkSpec(a, b, **attrs)
+        self.add_link(spec)
+        return spec
+
+    def has_link(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) in self.links
+
+    def link(self, a: int, b: int) -> LinkSpec:
+        return self.links[(min(a, b), max(a, b))]
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Neighbors of ``node`` in deterministic (sorted) order."""
+        found = set()
+        for a, b in self.links:
+            if a == node:
+                found.add(b)
+            elif b == node:
+                found.add(a)
+        return iter(sorted(found))
+
+    def degree(self, node: int) -> int:
+        return sum(1 for _ in self.neighbors(node))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    def to_networkx(self) -> nx.Graph:
+        """Weighted ``networkx`` view (``weight`` = link cost)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(sorted(self.nodes))
+        for (a, b), spec in self.links.items():
+            graph.add_edge(a, b, weight=spec.cost, delay=spec.delay)
+        return graph
+
+    def shortest_path(
+        self, src: int, dst: int, exclude_link: Optional[tuple[int, int]] = None
+    ) -> Optional[list[int]]:
+        """Min-cost path (ties broken deterministically), or None if disconnected.
+
+        ``exclude_link`` removes one link first — used to compute the
+        post-failure path the network should converge to.
+        """
+        graph = self.to_networkx()
+        if exclude_link is not None:
+            a, b = exclude_link
+            if graph.has_edge(a, b):
+                graph.remove_edge(a, b)
+        try:
+            return _deterministic_shortest_path(graph, src, dst)
+        except nx.NetworkXNoPath:
+            return None
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return True
+        return nx.is_connected(self.to_networkx())
+
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        return Topology(
+            name=name or self.name,
+            nodes=set(self.nodes),
+            links=dict(self.links),
+            positions=dict(self.positions),
+        )
+
+
+def shortest_path_tree(graph: nx.Graph, src: int) -> dict[int, list[int]]:
+    """Deterministic shortest paths from ``src`` to every reachable node.
+
+    Dijkstra with (cost, hop count, lexicographic node sequence) tie-breaking.
+    The protocols in this package break cost ties by lowest neighbor id, which
+    for unit-cost graphs yields exactly the lexicographic-minimum shortest
+    path — so analysis and warm-start code predict the same winner the
+    protocols converge to.
+    """
+    import heapq
+
+    dist: dict[int, tuple] = {src: (0, 0, ())}
+    prev: dict[int, Optional[int]] = {src: None}
+    heap: list[tuple] = [(0, 0, (), src)]
+    visited: set[int] = set()
+    while heap:
+        cost, hops, key, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for nbr in sorted(graph.neighbors(node)):
+            if nbr in visited:
+                continue
+            w = graph.edges[node, nbr].get("weight", 1)
+            cand = (cost + w, hops + 1, key + (nbr,))
+            if nbr not in dist or cand < dist[nbr]:
+                dist[nbr] = cand
+                prev[nbr] = node
+                heapq.heappush(heap, (*cand, nbr))
+    paths: dict[int, list[int]] = {}
+    for node in visited:
+        path = [node]
+        while prev[path[-1]] is not None:
+            path.append(prev[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        paths[node] = path
+    return paths
+
+
+def _deterministic_shortest_path(graph: nx.Graph, src: int, dst: int) -> list[int]:
+    paths = shortest_path_tree(graph, src)
+    if dst not in paths:
+        raise nx.NetworkXNoPath(f"no path {src}->{dst}")
+    return paths[dst]
+
+
+_TREE_CACHE: dict[tuple, dict[int, dict[int, list[int]]]] = {}
+
+
+def all_shortest_path_trees(topo: "Topology") -> dict[int, dict[int, list[int]]]:
+    """Deterministic shortest-path trees from every node, memoized per
+    link-set (warm starts of all 49 routers share one computation)."""
+    key = tuple(sorted((a, b, spec.cost) for (a, b), spec in topo.links.items()))
+    cached = _TREE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    graph = topo.to_networkx()
+    trees = {src: shortest_path_tree(graph, src) for src in sorted(topo.nodes)}
+    if len(_TREE_CACHE) > 32:  # bound memory across large sweeps
+        _TREE_CACHE.clear()
+    _TREE_CACHE[key] = trees
+    return trees
+
+
+def merge(name: str, parts: Iterable[Topology]) -> Topology:
+    """Union of disjoint topologies (helper for multi-domain experiments)."""
+    out = Topology(name=name)
+    for part in parts:
+        for node in part.nodes:
+            out.add_node(node, part.positions.get(node))
+        for spec in part.links.values():
+            out.add_link(spec)
+    return out

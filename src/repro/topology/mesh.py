@@ -1,0 +1,110 @@
+"""Baran-style regular mesh topologies.
+
+The paper evaluates a family of R x C meshes in which every non-border node
+has the same degree, built "by a deterministic method similar to the one used
+by Baran" (On Distributed Communication Networks, 1964).  We reconstruct that
+family for interior degrees 3..8:
+
+==========  =========================================================
+degree      construction
+==========  =========================================================
+3           grid with brick-pattern vertical links (every other one)
+4           plain grid
+5           grid + one main diagonal per node (added on even rows)
+6           grid + main diagonals everywhere (triangular lattice)
+7           degree-6 + anti-diagonals on even rows
+8           degree-6 + anti-diagonals everywhere (king's graph)
+==========  =========================================================
+
+Node ids are assigned row-major: node = row * cols + col.
+"""
+
+from __future__ import annotations
+
+from ..sim import units
+from .graph import LinkSpec, Topology
+
+__all__ = ["regular_mesh", "node_at", "MIN_DEGREE", "MAX_DEGREE"]
+
+MIN_DEGREE = 3
+MAX_DEGREE = 8
+
+
+def node_at(row: int, col: int, cols: int) -> int:
+    """Row-major node id of grid coordinate (row, col)."""
+    return row * cols + col
+
+
+def regular_mesh(
+    rows: int = 7,
+    cols: int = 7,
+    degree: int = 4,
+    cost: int = 1,
+    delay: float = 1 * units.MILLISECONDS,
+    bandwidth: float = 1 * units.MEGABITS,
+) -> Topology:
+    """Build the degree-``degree`` regular mesh used throughout the paper.
+
+    Interior nodes have exactly ``degree`` neighbors; border nodes have fewer,
+    matching the paper's description.  Raises ``ValueError`` for degrees
+    outside 3..8 or meshes too small to have an interior.
+    """
+    if not MIN_DEGREE <= degree <= MAX_DEGREE:
+        raise ValueError(f"degree must be in [{MIN_DEGREE}, {MAX_DEGREE}], got {degree}")
+    if rows < 3 or cols < 3:
+        raise ValueError(f"mesh must be at least 3x3, got {rows}x{cols}")
+
+    topo = Topology(name=f"mesh-{rows}x{cols}-d{degree}")
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(node_at(r, c, cols), position=(r, c))
+
+    def connect(r1: int, c1: int, r2: int, c2: int) -> None:
+        topo.add_link(
+            LinkSpec(
+                node_at(r1, c1, cols),
+                node_at(r2, c2, cols),
+                cost=cost,
+                delay=delay,
+                bandwidth=bandwidth,
+            )
+        )
+
+    # Horizontal links: present in every construction.
+    for r in range(rows):
+        for c in range(cols - 1):
+            connect(r, c, r, c + 1)
+
+    # Vertical links: brick pattern for degree 3, full otherwise.
+    for r in range(rows - 1):
+        for c in range(cols):
+            if degree == 3 and (r + c) % 2 != 0:
+                continue
+            connect(r, c, r + 1, c)
+
+    # Main diagonals (r, c) -- (r+1, c+1).
+    if degree >= 5:
+        for r in range(rows - 1):
+            if degree == 5 and r % 2 != 0:
+                continue
+            for c in range(cols - 1):
+                connect(r, c, r + 1, c + 1)
+
+    # Anti-diagonals (r, c) -- (r+1, c-1).
+    if degree >= 7:
+        for r in range(rows - 1):
+            if degree == 7 and r % 2 != 0:
+                continue
+            for c in range(1, cols):
+                connect(r, c, r + 1, c - 1)
+
+    return topo
+
+
+def interior_nodes(topo: Topology, rows: int, cols: int) -> list[int]:
+    """Node ids strictly inside the border (where the degree guarantee holds)."""
+    return [
+        node_at(r, c, cols)
+        for r in range(1, rows - 1)
+        for c in range(1, cols - 1)
+    ]

@@ -1,0 +1,76 @@
+"""ASCII rendering of regular meshes (Figure 2's visual).
+
+Draws nodes as two-digit ids, horizontal links as ``--``, vertical links as
+``|``, main diagonals as ``\\``, anti-diagonals as ``/`` (both as ``X``),
+and marks a failed link with ``xx``/``x``.  Useful in examples and for
+eyeballing the degree-3..8 construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .graph import Topology
+from .mesh import node_at
+
+__all__ = ["render_mesh"]
+
+
+def render_mesh(
+    topo: Topology,
+    rows: int,
+    cols: int,
+    failed_link: Optional[tuple[int, int]] = None,
+) -> str:
+    """Render a mesh built by :func:`repro.topology.mesh.regular_mesh`."""
+    failed = None
+    if failed_link is not None:
+        failed = (min(failed_link), max(failed_link))
+
+    def is_failed(a: int, b: int) -> bool:
+        return failed == (min(a, b), max(a, b))
+
+    def has(a: int, b: int) -> bool:
+        return topo.has_link(a, b)
+
+    lines: list[str] = []
+    for r in range(rows):
+        # Node row.
+        parts = []
+        for c in range(cols):
+            node = node_at(r, c, cols)
+            parts.append(f"{node:02d}")
+            if c < cols - 1:
+                right = node_at(r, c + 1, cols)
+                if has(node, right):
+                    parts.append("xx" if is_failed(node, right) else "--")
+                else:
+                    parts.append("  ")
+        lines.append("".join(parts))
+        if r == rows - 1:
+            break
+        # Inter-row: vertical and diagonal links.
+        parts = []
+        for c in range(cols):
+            node = node_at(r, c, cols)
+            below = node_at(r + 1, c, cols)
+            if has(node, below):
+                parts.append("x " if is_failed(node, below) else "| ")
+            else:
+                parts.append("  ")
+            if c < cols - 1:
+                right = node_at(r, c + 1, cols)
+                below_right = node_at(r + 1, c + 1, cols)
+                main = has(node, below_right)
+                anti = has(right, below)
+                if main and anti:
+                    glyph = "X"
+                elif main:
+                    glyph = "x" if is_failed(node, below_right) else "\\"
+                elif anti:
+                    glyph = "x" if is_failed(right, below) else "/"
+                else:
+                    glyph = " "
+                parts.append(glyph + " ")
+        lines.append("".join(parts).rstrip())
+    return "\n".join(lines)

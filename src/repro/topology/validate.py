@@ -1,0 +1,44 @@
+"""Topology validation helpers.
+
+Experiments assert these invariants before running; tests exercise them
+directly.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+
+__all__ = [
+    "check_connected",
+    "check_interior_degree",
+    "degree_histogram",
+    "TopologyError",
+]
+
+
+class TopologyError(ValueError):
+    """A topology violates a structural requirement."""
+
+
+def check_connected(topo: Topology) -> None:
+    """Raise :class:`TopologyError` unless the topology is connected."""
+    if not topo.is_connected():
+        raise TopologyError(f"{topo.name} is not connected")
+
+
+def degree_histogram(topo: Topology) -> dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    hist: dict[int, int] = {}
+    for node in topo.nodes:
+        d = topo.degree(node)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def check_interior_degree(topo: Topology, nodes: list[int], degree: int) -> None:
+    """Raise unless every node in ``nodes`` has exactly ``degree`` neighbors."""
+    bad = {n: topo.degree(n) for n in nodes if topo.degree(n) != degree}
+    if bad:
+        raise TopologyError(
+            f"{topo.name}: expected interior degree {degree}, violations: {bad}"
+        )

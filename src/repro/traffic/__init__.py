@@ -1,0 +1,23 @@
+"""Traffic generation and accounting (CBR source, sink, flow stats)."""
+
+from .cbr import CbrSource
+from .flows import Delivery, FlowSpec, FlowStats
+from .sink import PacketSink
+from .transport import (
+    ReliableReceiver,
+    ReliableSender,
+    TransportConfig,
+    TransportStats,
+)
+
+__all__ = [
+    "CbrSource",
+    "FlowSpec",
+    "FlowStats",
+    "Delivery",
+    "PacketSink",
+    "ReliableSender",
+    "ReliableReceiver",
+    "TransportConfig",
+    "TransportStats",
+]

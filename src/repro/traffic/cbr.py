@@ -1,0 +1,49 @@
+"""Constant-bit-rate packet source.
+
+The paper's workload: a single sender emitting fixed-size IP packets with
+TTL 127 at a constant rate toward a single receiver, starting after the
+routing warm-up.
+"""
+
+from __future__ import annotations
+
+from ..net.network import Network
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+from .flows import FlowSpec
+
+__all__ = ["CbrSource"]
+
+
+class CbrSource:
+    """Originates one packet every ``1/rate`` seconds during [start, stop)."""
+
+    def __init__(self, sim: Simulator, network: Network, spec: FlowSpec) -> None:
+        self.sim = sim
+        self.network = network
+        self.spec = spec
+        self.sent = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the first transmission (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        delay = max(0.0, self.spec.start - self.sim.now)
+        self.sim.schedule(delay, self._emit)
+
+    def _emit(self) -> None:
+        if self.sim.now >= self.spec.stop:
+            return
+        packet = Packet(
+            src=self.spec.src,
+            dst=self.spec.dst,
+            kind="data",
+            ttl=self.spec.ttl,
+            size_bytes=self.spec.packet_bytes,
+            flow_id=self.spec.flow_id,
+        )
+        self.network.node(self.spec.src).originate(packet)
+        self.sent += 1
+        self.sim.schedule(self.spec.interval, self._emit)

@@ -1,0 +1,34 @@
+"""Packet sink: records every delivery for a flow."""
+
+from __future__ import annotations
+
+from ..net.node import Node
+from ..net.packet import Packet
+from .flows import Delivery, FlowStats
+
+__all__ = ["PacketSink"]
+
+
+class PacketSink:
+    """Attach to the destination node to collect per-packet delivery records."""
+
+    def __init__(self, flow_id: int, ttl_at_send: int = 127) -> None:
+        self.flow_id = flow_id
+        self.ttl_at_send = ttl_at_send
+        self.stats = FlowStats()
+
+    def on_packet(self, packet: Packet, node: Node) -> None:
+        if packet.flow_id != self.flow_id:
+            return
+        delay = node.sim.now - packet.send_time
+        hops = self.ttl_at_send - packet.ttl
+        self.stats.delivered += 1
+        self.stats.deliveries.append(
+            Delivery(
+                time=node.sim.now,
+                delay=delay,
+                hops=hops,
+                packet_id=packet.packet_id,
+                path=tuple(packet.hops) if packet.hops else None,
+            )
+        )

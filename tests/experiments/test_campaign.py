@@ -1,0 +1,69 @@
+"""Tests for the one-command reproduction campaign."""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.campaign import reproduce
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import load_points
+
+MICRO = ExperimentConfig.quick().with_(
+    rows=5,
+    cols=5,
+    degrees=(4, 5),
+    runs=1,
+    protocols=("rip", "dbf", "bgp", "bgp3"),
+    post_fail_window=30.0,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    out = tmp_path_factory.mktemp("repro_out")
+    report = reproduce(MICRO, out_dir=str(out))
+    return report
+
+
+class TestReproduce:
+    def test_all_figures_present(self, campaign):
+        names = set(campaign.artifacts)
+        for required in (
+            "figure2_topologies.txt",
+            "figure3_drops.txt",
+            "figure3_drops.svg",
+            "figure4_ttl.txt",
+            "figure4_ttl.svg",
+            "figure5_throughput.txt",
+            "figure5_throughput.svg",
+            "figure6_convergence.txt",
+            "figure6a_forwarding.svg",
+            "figure6b_routing.svg",
+            "figure7_delay.txt",
+            "figure7_delay.svg",
+            "results.json",
+            "REPORT.md",
+        ):
+            assert required in names
+            assert os.path.exists(campaign.path(required))
+
+    def test_svgs_are_valid_xml(self, campaign):
+        for name in campaign.artifacts:
+            if name.endswith(".svg"):
+                ET.parse(campaign.path(name))
+
+    def test_results_json_reloadable(self, campaign):
+        points = load_points(campaign.path("results.json"))
+        assert set(p for p, _ in points) == set(MICRO.protocols)
+
+    def test_report_mentions_headline(self, campaign):
+        with open(campaign.path("REPORT.md")) as f:
+            text = f.read()
+        assert "BGP" in text and "ratio" in text
+        assert "Reproduction report" in text
+
+    def test_headline_computed(self, campaign):
+        assert set(campaign.headline) == {"bgp", "bgp3", "ratio"}

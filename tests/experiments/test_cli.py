@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "dbf"
+        assert args.degree == 4
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "ospfv99"])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_topology_command(self, capsys):
+        assert main(["topology", "--degree", "5", "--rows", "5", "--cols", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "25 nodes" in out
+        assert "connected: True" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "--protocol", "static", "--degree", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sent=" in out
+        assert "failed link" in out
+
+    def test_figure2_command(self, capsys):
+        assert main(["figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "degree 4" in out and "degree 6" in out
+
+    def test_figure3_command_small(self, capsys):
+        assert (
+            main(
+                [
+                    "figure",
+                    "3",
+                    "--degrees",
+                    "4",
+                    "--runs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "rip" in out
+
+    def test_narrate_command(self, capsys):
+        assert (
+            main(["narrate", "--protocol", "dbf", "--degree", "4", "--seed", "1",
+                  "--window", "15"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "Timeline" in out
+
+    def test_sweep_save_option(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert (
+            main(["sweep", "--protocols", "static", "--degrees", "4",
+                  "--runs", "1", "--save", str(path)])
+            == 0
+        )
+        assert path.exists()
+
+    def test_sweep_command_small(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--protocols",
+                    "static",
+                    "--degrees",
+                    "4",
+                    "--runs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "static" in out

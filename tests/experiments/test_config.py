@@ -1,0 +1,51 @@
+"""Unit tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PROTOCOL_NAMES, ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_paper_profile_matches_reconstruction(self):
+        cfg = ExperimentConfig.paper()
+        assert (cfg.rows, cfg.cols) == (7, 7)
+        assert cfg.degrees == (3, 4, 5, 6, 7, 8)
+        assert cfg.runs == 10
+        assert cfg.ttl == 127
+        assert cfg.protocols == ("rip", "dbf", "bgp", "bgp3")
+
+    def test_quick_profile_keeps_timers(self):
+        cfg = ExperimentConfig.quick()
+        # The timers under study are the protocols' own; quick mode only
+        # shrinks statistical breadth.
+        assert cfg.runs < ExperimentConfig.paper().runs
+        assert cfg.ttl == 127
+
+    def test_end_time(self):
+        cfg = ExperimentConfig(fail_time=10.0, post_fail_window=70.0)
+        assert cfg.end_time == 80.0
+
+    def test_with_override(self):
+        cfg = ExperimentConfig.quick().with_(runs=1, degrees=(4,))
+        assert cfg.runs == 1
+        assert cfg.degrees == (4,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rows": 2},
+            {"degrees": ()},
+            {"runs": 0},
+            {"traffic_start": 10.0, "fail_time": 5.0},
+            {"post_fail_window": 0.0},
+            {"protocols": ("ripv9",)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_protocol_names_cover_paper_and_extensions(self):
+        assert {"rip", "dbf", "bgp", "bgp3", "spf"} <= set(PROTOCOL_NAMES)

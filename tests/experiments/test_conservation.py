@@ -1,0 +1,50 @@
+"""Packet conservation: every packet is delivered, dropped, or in flight.
+
+A discrete-event forwarding bug (double-count, lost callback, packet
+duplicated across a failure) breaks this law, so it is asserted across the
+full protocol matrix and several failure layouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import run_scenario
+
+CFG = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=1, post_fail_window=30.0
+)
+
+PROTOCOLS = ("rip", "dbf", "dual", "bgp", "bgp3", "spf", "static")
+
+
+class TestConservation:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_no_packet_unaccounted(self, protocol, seed):
+        r = run_scenario(protocol, 4, seed, CFG)
+        accounted = r.delivered + r.total_drops
+        in_flight = r.sent - accounted
+        # Nothing is created from thin air...
+        assert accounted <= r.sent, (
+            f"{protocol} seed {seed}: delivered+dropped {accounted} > sent {r.sent}"
+        )
+        # ...and at most a pipeline's worth of packets is still in flight
+        # when the run ends (path length bounded by TTL anyway).
+        assert 0 <= in_flight <= 12
+
+    @pytest.mark.parametrize("protocol", ("rip", "dual", "bgp3"))
+    def test_conservation_under_heavy_load(self, protocol):
+        r = run_scenario(protocol, 5, 4, CFG.with_(rate_pps=150.0))
+        in_flight = r.sent - r.delivered - r.total_drops
+        # Congested loops hold more packets (queues + propagation), but the
+        # bound is still structural: queue capacity x on-path links.
+        assert 0 <= in_flight <= 200
+
+    def test_delivery_never_exceeds_sent_multiflow(self):
+        from repro.experiments.extensions import run_multiflow_scenario
+
+        r = run_multiflow_scenario("dbf", 4, 1, CFG, n_flows=3, n_failures=2)
+        for flow in r.flows:
+            assert flow.delivered <= flow.sent

@@ -1,0 +1,80 @@
+"""Micro-scale API tests for the ablation/extension figure harnesses.
+
+The benchmarks exercise these at realistic scale; these tests pin the
+interfaces (key sets, value sanity) at the smallest usable configuration so
+API regressions surface in the fast suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ablation_detection_delay,
+    ablation_ssld,
+    extension_fast_reroute,
+    extension_flap_damping,
+    extension_loop_freedom_cost,
+    extension_scale,
+    overhead_sweep,
+)
+
+MICRO = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=1, post_fail_window=25.0
+)
+
+
+class TestOverheadSweep:
+    def test_reports_messages_per_cell(self):
+        cfg = MICRO.with_(protocols=("rip", "bgp3"))
+        table = overhead_sweep(cfg)
+        assert set(table.values) == {("rip", 4), ("bgp3", 4)}
+        assert table.value("rip", 4) > 0
+
+
+class TestSsldAblation:
+    def test_key_shape(self):
+        out = ablation_ssld(MICRO, degree=4)
+        assert set(out) == {"bgp3", "bgp3-ssld"}
+        for row in out.values():
+            assert set(row) == {
+                "messages", "drops_no_route", "drops_ttl", "routing_convergence",
+            }
+
+
+class TestDetectionDelayAblation:
+    def test_floor_scales_with_delay(self):
+        out = ablation_detection_delay(MICRO, degree=4, delays=(0.05, 1.0))
+        assert out[1.0]["expected_floor"] > out[0.05]["expected_floor"]
+        for row in out.values():
+            assert row["total_drops"] >= 0
+
+
+class TestFastReroute:
+    def test_lfa_never_worse_than_slow_spf(self):
+        out = extension_fast_reroute(MICRO, degrees=(4,))
+        assert out[("spf-lfa", 4)] <= out[("spf-slow", 4)] + 1e-9
+        assert out[("spf", 4)] <= out[("spf-slow", 4)] + 1e-9
+
+
+class TestLoopFreedomCost:
+    def test_dual_never_loops(self):
+        out = extension_loop_freedom_cost(MICRO, degrees=(4,))
+        assert out[("dual", 4)]["ttl"] == 0
+
+
+class TestFlapDamping:
+    def test_key_shape(self):
+        out = extension_flap_damping(MICRO, degree=4)
+        assert set(out) == {"bgp3", "bgp3-rfd"}
+
+
+class TestScale:
+    def test_sweeps_sizes(self):
+        out = extension_scale(
+            MICRO, sizes=((5, 5), (6, 6)), degree=4, protocols=("dbf",)
+        )
+        assert set(out) == {("dbf", 25), ("dbf", 36)}
+        for row in out.values():
+            assert 0 <= row["delivery_ratio"] <= 1

@@ -1,0 +1,91 @@
+"""Tests for the future-work extension experiments (paper §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions import (
+    run_multiflow_scenario,
+    run_random_topology_scenario,
+    run_transport_scenario,
+    transport_with_baseline,
+)
+
+TINY = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=1, post_fail_window=40.0
+)
+
+
+class TestMultiFlow:
+    def test_runs_all_flows(self):
+        r = run_multiflow_scenario("dbf", 4, 1, TINY, n_flows=3, n_failures=2)
+        assert len(r.flows) == 3
+        assert all(f.sent > 0 for f in r.flows)
+        assert r.total_delivered <= r.total_sent
+
+    def test_failures_are_distinct_links(self):
+        r = run_multiflow_scenario("dbf", 4, 2, TINY, n_flows=3, n_failures=3)
+        keys = {(min(a, b), max(a, b)) for a, b in r.failed_links}
+        assert len(keys) == len(r.failed_links)
+
+    def test_overlapping_failures_hurt_rip_more_than_dbf(self):
+        rip = run_multiflow_scenario("rip", 4, 1, TINY, n_flows=3, n_failures=2)
+        dbf = run_multiflow_scenario("dbf", 4, 1, TINY, n_flows=3, n_failures=2)
+        assert dbf.delivery_ratio >= rip.delivery_ratio
+
+    def test_deterministic(self):
+        a = run_multiflow_scenario("dbf", 4, 5, TINY)
+        b = run_multiflow_scenario("dbf", 4, 5, TINY)
+        assert a.total_delivered == b.total_delivered
+        assert a.failed_links == b.failed_links
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_multiflow_scenario("dbf", 4, 1, TINY, n_flows=0)
+        with pytest.raises(ValueError):
+            run_multiflow_scenario("dbf", 4, 1, TINY, n_flows=2, n_failures=3)
+
+
+class TestTransportScenario:
+    def test_transfer_completes_despite_failure(self):
+        r = run_transport_scenario("dbf", 4, 1, TINY, total_segments=400)
+        assert r.stats.completed
+
+    def test_baseline_completes_faster_or_equal(self):
+        r = transport_with_baseline("rip", 4, 1, TINY, total_segments=2000)
+        assert r.stats.completed
+        assert r.baseline_completion is not None
+        assert r.stall_penalty is not None
+        assert r.stall_penalty >= 0.0
+
+    def test_rip_stalls_longer_than_dbf(self):
+        """End-to-end translation of the paper's IP-layer result: RIP's long
+        switch-over gap becomes a long transport stall."""
+        rip = transport_with_baseline("rip", 4, 1, TINY, total_segments=3000)
+        dbf = transport_with_baseline("dbf", 4, 1, TINY, total_segments=3000)
+        assert rip.stats.completed and dbf.stats.completed
+        assert rip.stall_penalty >= dbf.stall_penalty
+
+
+class TestRandomTopology:
+    def test_runs_and_accounts(self):
+        r = run_random_topology_scenario("dbf", 4, 1, TINY, n_nodes=20)
+        assert r.sent > 0
+        assert r.delivered + r.total_drops <= r.sent
+
+    def test_degree_effect_holds_off_lattice(self):
+        """More connectivity still means fewer drops on random graphs — for
+        the alternate-path protocol, whose recovery depends on a valid cached
+        alternate existing (RIP's recovery is periodic-timer-bound, so its
+        drops are degree-insensitive on any topology)."""
+        cfg = TINY.with_(runs=1)
+        sparse = sum(
+            run_random_topology_scenario("dbf", 3, s, cfg, n_nodes=20).drops_no_route
+            for s in range(1, 6)
+        )
+        dense = sum(
+            run_random_topology_scenario("dbf", 6, s, cfg, n_nodes=20).drops_no_route
+            for s in range(1, 6)
+        )
+        assert dense <= sparse

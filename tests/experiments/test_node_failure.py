@@ -1,0 +1,71 @@
+"""Tests for whole-router failure experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions import run_node_failure_scenario
+from repro.net.failure import FailureInjector
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.topology import generators
+
+TINY = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=1, post_fail_window=40.0
+)
+
+
+class TestFailNode:
+    def test_all_adjacent_links_fail(self):
+        sim = Simulator()
+        net = Network(sim, generators.ring(5))
+        injector = FailureInjector(sim, net, detection_delay=0.05)
+        events = injector.fail_node(2, at=1.0)
+        assert len(events) == 2
+        sim.run(until=2.0)
+        assert not net.link(1, 2).up
+        assert not net.link(2, 3).up
+        assert net.link(0, 1).up
+
+    def test_isolated_node_rejected(self):
+        from repro.topology.graph import Topology
+
+        sim = Simulator()
+        topo = Topology()
+        topo.connect(0, 1)
+        topo.add_node(9)
+        net = Network(sim, topo)
+        injector = FailureInjector(sim, net, detection_delay=0.05)
+        with pytest.raises(ValueError):
+            injector.fail_node(9, at=1.0)
+
+
+class TestNodeFailureScenario:
+    def test_dbf_recovers_from_router_crash(self):
+        r = run_node_failure_scenario("dbf", 4, 1, TINY)
+        assert r.sent > 0
+        assert r.recovered
+        assert r.failed_node not in (r.sent, r.delivered)  # sanity
+
+    def test_rip_loses_more_than_dbf_on_router_crash(self):
+        """The paper's protocol ranking survives the harsher failure mode."""
+        rip = run_node_failure_scenario("rip", 4, 1, TINY)
+        dbf = run_node_failure_scenario("dbf", 4, 1, TINY)
+        assert dbf.delivery_ratio >= rip.delivery_ratio
+        assert dbf.recovered
+
+    def test_accounting_sane(self):
+        r = run_node_failure_scenario("rip", 4, 1, TINY)
+        assert 0 < r.delivered <= r.sent
+        assert r.drops_no_route + r.drops_ttl <= r.sent - r.delivered + 5
+
+    def test_deterministic(self):
+        a = run_node_failure_scenario("dbf", 4, 3, TINY)
+        b = run_node_failure_scenario("dbf", 4, 3, TINY)
+        assert (a.failed_node, a.delivered) == (b.failed_node, b.delivered)
+
+    def test_failed_node_is_interior_path_router(self):
+        r = run_node_failure_scenario("static", 4, 2, TINY)
+        assert r.failed_node not in (r.sent,)  # structural sanity below
+        assert 0 <= r.failed_node < TINY.rows * TINY.cols

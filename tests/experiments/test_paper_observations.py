@@ -1,0 +1,161 @@
+"""Integration tests of the paper's five Observations (qualitative shape).
+
+These run the real experiment at reduced statistical breadth (a few seeds)
+but full 7x7 topology scale and authentic protocol timers, and assert the
+*shape* results the paper reports — who wins, in what direction, and where
+the degree-6 knee falls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_point
+from repro.experiments.scenario import run_scenario
+
+CFG = ExperimentConfig.quick().with_(runs=3, post_fail_window=60.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    """Shared sweep: (protocol, degree) -> PointResult."""
+    out = {}
+    for protocol in ("rip", "dbf", "bgp", "bgp3"):
+        for degree in (3, 4, 6):
+            out[(protocol, degree)] = run_point(protocol, degree, CFG)
+    return out
+
+
+class TestObservation1Drops:
+    """Paper Observation 1: drops decrease with node degree; at degree >= 6
+    DBF/BGP/BGP-3 drop virtually nothing while RIP improves only slightly."""
+
+    def test_drops_shrink_with_degree(self, points):
+        for protocol in ("rip", "dbf"):
+            assert (
+                points[(protocol, 6)].mean_drops_no_route
+                <= points[(protocol, 3)].mean_drops_no_route
+            )
+
+    def test_degree6_near_zero_for_cache_protocols(self, points):
+        for protocol in ("dbf", "bgp", "bgp3"):
+            assert points[(protocol, 6)].mean_drops_no_route < 5
+
+    def test_rip_still_drops_heavily_at_degree6(self, points):
+        assert points[("rip", 6)].mean_drops_no_route > 50
+
+    def test_rip_worst_at_every_degree(self, points):
+        for degree in (3, 4, 6):
+            rip = points[("rip", degree)].mean_drops_no_route
+            dbf = points[("dbf", degree)].mean_drops_no_route
+            assert rip > dbf
+
+
+class TestObservation2TtlExpirations:
+    """Paper Observation 2: RIP never loops; at degree >= 6 nobody loops;
+    below 6, BGP loops more than BGP-3 (MRAI lengthens loop lifetime)."""
+
+    def test_rip_has_zero_ttl_expirations(self, points):
+        for degree in (3, 4, 6):
+            assert points[("rip", degree)].mean_drops_ttl == 0
+
+    def test_no_ttl_expirations_at_degree6(self, points):
+        for protocol in ("rip", "dbf", "bgp", "bgp3"):
+            assert points[(protocol, 6)].mean_drops_ttl == 0
+
+    def test_bgp_loops_longer_than_bgp3_at_degree5(self):
+        bgp = run_point("bgp", 5, CFG.with_(runs=5))
+        bgp3 = run_point("bgp3", 5, CFG.with_(runs=5))
+        assert bgp.mean_drops_ttl > bgp3.mean_drops_ttl
+
+
+class TestObservation3Throughput:
+    """Paper Observation 3: failure causes a throughput dip; recovery time
+    matches each protocol's update machinery (RIP ~ periodic 30 s; BGP ~
+    MRAI; DBF within seconds); at degree 6 the dip nearly disappears for the
+    alternate-path protocols."""
+
+    def test_rip_throughput_drops_to_zero_then_recovers(self, points):
+        series = points[("rip", 3)].mean_throughput()
+        dip = series.window(0.0, 5.0)
+        assert dip.min_value() < 0.3 * CFG.rate_pps
+        tail = series.window(40.0, 50.0)
+        assert tail.mean_value() > 0.8 * CFG.rate_pps
+
+    def test_dbf_dip_is_short(self, points):
+        series = points[("dbf", 4)].mean_throughput()
+        after = series.window(8.0, 20.0)
+        assert after.mean_value() > 0.9 * CFG.rate_pps
+
+    def test_degree6_removes_dip_for_cache_protocols(self, points):
+        for protocol in ("dbf", "bgp3"):
+            series = points[(protocol, 6)].mean_throughput()
+            post = series.window(0.0, 20.0)
+            assert post.mean_value() > 0.9 * CFG.rate_pps
+
+    def test_rip_dip_persists_even_at_degree6(self, points):
+        series = points[("rip", 6)].mean_throughput()
+        post = series.window(0.0, 5.0)
+        assert post.min_value() < 0.5 * CFG.rate_pps
+
+
+class TestObservation4Convergence:
+    """Paper Observation 4: BGP-3 converges much faster than BGP, yet at high
+    degree the packet-drop difference is negligible — convergence time and
+    delivery decouple."""
+
+    def test_bgp3_converges_faster(self, points):
+        for degree in (3, 4, 6):
+            assert (
+                points[("bgp3", degree)].mean_routing_convergence
+                < points[("bgp", degree)].mean_routing_convergence
+            )
+
+    def test_drop_difference_negligible_at_degree6(self, points):
+        diff = abs(
+            points[("bgp", 6)].mean_drops_no_route
+            - points[("bgp3", 6)].mean_drops_no_route
+        )
+        assert diff < 5
+
+    def test_convergence_still_positive_at_degree6(self, points):
+        assert points[("bgp", 6)].mean_routing_convergence > 1.0
+
+
+class TestObservation5Delay:
+    """Paper Observation 5: packets delivered during convergence take longer
+    paths, so instantaneous delay exceeds the steady-state value."""
+
+    def test_transient_delay_exceeds_steady_state(self):
+        point = run_point("bgp3", 4, CFG.with_(runs=5))
+        series = point.mean_delay()
+        steady = series.window(-5.0, 0.0).mean_value()
+        transient_max = max(series.window(0.0, 20.0).values)
+        assert transient_max > steady
+
+
+class TestHeadline:
+    """§1: same topology and rate, BGP drops several times more than BGP-3."""
+
+    def test_bgp_drops_multiple_of_bgp3(self):
+        cfg = CFG.with_(runs=5)
+        bgp = run_point("bgp", 5, cfg)
+        bgp3 = run_point("bgp3", 5, cfg)
+        bgp_drops = bgp.mean_drops_no_route + bgp.mean_drops_ttl
+        bgp3_drops = bgp3.mean_drops_no_route + bgp3.mean_drops_ttl
+        assert bgp_drops > 2 * bgp3_drops
+
+
+class TestLoopEscapeDelay:
+    """§5.5: packets escaping a forwarding loop arrive with much larger
+    delays than packets on merely sub-optimal paths."""
+
+    def test_escaped_packets_have_inflated_hop_counts(self):
+        cfg = CFG.with_(record_paths=True, runs=1)
+        for seed in range(1, 15):
+            r = run_scenario("bgp3", 5, seed, cfg)
+            if r.loop_report and r.loop_report.escaped_loop:
+                assert r.loop_report.max_extra_hops > 4
+                return
+        pytest.skip("no loop on the data path in sampled seeds")

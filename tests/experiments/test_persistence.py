@@ -1,0 +1,83 @@
+"""Tests for result persistence (JSON round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import (
+    load_points,
+    save_points,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.experiments.runner import run_point
+from repro.experiments.scenario import run_scenario
+
+TINY = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=2, post_fail_window=30.0
+)
+
+
+class TestScenarioRoundTrip:
+    def test_all_scalars_survive(self):
+        original = run_scenario("dbf", 4, 1, TINY)
+        restored = scenario_from_dict(scenario_to_dict(original))
+        for field in (
+            "protocol", "degree", "seed", "sent", "delivered",
+            "drops_no_route", "drops_ttl", "drops_link_down", "drops_queue",
+            "routing_convergence", "forwarding_convergence",
+            "converged_to_expected", "transient_path_count",
+            "messages", "withdrawals", "failed_link", "pre_failure_path",
+        ):
+            assert getattr(restored, field) == getattr(original, field), field
+
+    def test_series_survive(self):
+        original = run_scenario("dbf", 4, 1, TINY)
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.throughput.times == original.throughput.times
+        assert restored.throughput.values == original.throughput.values
+        assert restored.delay.values == original.delay.values
+
+    def test_reordering_survives(self):
+        original = run_scenario("dbf", 4, 1, TINY)
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.reordering == original.reordering
+
+    def test_dict_is_json_serializable(self):
+        original = run_scenario("rip", 4, 2, TINY)
+        json.dumps(scenario_to_dict(original))
+
+
+class TestSweepFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        points = {
+            ("dbf", 4): run_point("dbf", 4, TINY),
+            ("rip", 4): run_point("rip", 4, TINY),
+        }
+        path = tmp_path / "sweep.json"
+        save_points(points, str(path))
+        loaded = load_points(str(path))
+        assert set(loaded) == set(points)
+        for key in points:
+            assert loaded[key].n_runs == points[key].n_runs
+            assert loaded[key].mean_drops_no_route == points[key].mean_drops_no_route
+            assert (
+                loaded[key].mean_throughput().values
+                == points[key].mean_throughput().values
+            )
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 999, "points": []}))
+        with pytest.raises(ValueError):
+            load_points(str(path))
+
+    def test_file_is_human_readable_json(self, tmp_path):
+        points = {("dbf", 4): run_point("dbf", 4, TINY.with_(runs=1))}
+        path = tmp_path / "sweep.json"
+        save_points(points, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["points"][0]["protocol"] == "dbf"

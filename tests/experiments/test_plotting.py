@@ -1,0 +1,96 @@
+"""Tests for the SVG chart renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.figures import SweepTable
+from repro.experiments.plotting import line_chart, save_svg, series_chart, sweep_chart
+from repro.metrics.timeseries import BinnedSeries
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart({"a": [(0, 0), (1, 2)]}, "T", "x", "y")
+        root = parse(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 2), (1, 3)], "c": [(0, 1), (1, 0)]},
+            "T", "x", "y",
+        )
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        # 3 data lines (legend swatches are <line> elements).
+        assert len(polylines) == 3
+
+    def test_labels_present(self):
+        svg = line_chart({"a": [(0, 0), (1, 1)]}, "My Title", "degree", "drops")
+        assert "My Title" in svg
+        assert "degree" in svg and "drops" in svg
+
+    def test_escapes_special_characters(self):
+        svg = line_chart({"a<b": [(0, 0), (1, 1)]}, "x & y", "t", "v")
+        parse(svg)  # would raise on bad escaping
+        assert "a&lt;b" in svg
+        assert "x &amp; y" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, "T", "x", "y")
+
+    def test_degenerate_ranges_handled(self):
+        svg = line_chart({"a": [(1, 5), (1, 5)]}, "T", "x", "y")
+        parse(svg)
+
+
+class TestSweepChart:
+    def test_renders_table(self):
+        table = SweepTable(title="Fig", protocols=("rip", "dbf"), degrees=(3, 4))
+        table.values = {
+            ("rip", 3): 10.0,
+            ("rip", 4): 5.0,
+            ("dbf", 3): 1.0,
+            ("dbf", 4): 0.0,
+        }
+        svg = sweep_chart(table, ylabel="drops")
+        root = parse(svg)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+        assert "rip" in svg and "dbf" in svg
+
+
+class TestSeriesChart:
+    def test_renders_time_series(self):
+        series = {
+            ("rip", 3): BinnedSeries(times=(-5.0, 0.0, 5.0), values=(20.0, 0.0, 10.0)),
+            ("dbf", 3): BinnedSeries(times=(-5.0, 0.0, 5.0), values=(20.0, 19.0, 20.0)),
+        }
+        svg = series_chart(series, "Fig 5", "pkt/s")
+        root = parse(svg)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+        assert "rip d=3" in svg
+
+    def test_time_window_filtering(self):
+        series = {
+            ("x", 1): BinnedSeries(times=(-10.0, 0.0, 10.0, 99.0), values=(1, 2, 3, 4)),
+        }
+        svg = series_chart(series, "T", "y", t_min=-5, t_max=50)
+        # Range text reflects filtered data only.
+        assert "99" not in svg
+
+
+class TestSaveSvg:
+    def test_writes_file(self, tmp_path):
+        svg = line_chart({"a": [(0, 0), (1, 1)]}, "T", "x", "y")
+        path = tmp_path / "chart.svg"
+        save_svg(svg, str(path))
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,62 @@
+"""Tests for text report rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import SweepTable
+from repro.experiments.report import (
+    format_ascii_curve,
+    format_series_grid,
+    format_sweep_table,
+)
+from repro.metrics.timeseries import BinnedSeries
+
+
+def sample_table() -> SweepTable:
+    table = SweepTable(title="Demo", protocols=("rip", "dbf"), degrees=(3, 4))
+    table.values = {
+        ("rip", 3): 10.0,
+        ("rip", 4): 5.5,
+        ("dbf", 3): 1.25,
+        ("dbf", 4): 0.0,
+    }
+    return table
+
+
+class TestFormatSweepTable:
+    def test_contains_all_cells(self):
+        text = format_sweep_table(sample_table())
+        assert "Demo" in text
+        for token in ("rip", "dbf", "10.0", "5.5", "1.2", "0.0"):
+            assert token in text
+
+    def test_rows_per_degree(self):
+        text = format_sweep_table(sample_table())
+        data_rows = [l for l in text.splitlines() if l.strip().startswith(("3", "4"))]
+        assert len(data_rows) == 2
+
+
+class TestFormatSeriesGrid:
+    def test_samples_at_requested_times(self):
+        series = {
+            ("rip", 3): BinnedSeries(times=(-5.0, 0.0, 5.0), values=(20.0, 0.0, 10.0))
+        }
+        text = format_series_grid(series, "Tput", t_min=-5, t_max=5, step=5)
+        assert "rip/d3" in text
+        assert "20.0" in text and "10.0" in text
+
+    def test_out_of_range_marked(self):
+        series = {("x", 1): BinnedSeries(times=(0.0,), values=(1.0,))}
+        text = format_series_grid(series, "T", t_min=-10, t_max=-5, step=5)
+        assert "-" in text
+
+
+class TestAsciiCurve:
+    def test_renders_nonempty(self):
+        series = BinnedSeries(times=(0.0, 1.0, 2.0), values=(0.0, 5.0, 2.0))
+        text = format_ascii_curve(series, "curve")
+        assert "curve" in text
+        assert "#" in text
+
+    def test_empty_series(self):
+        series = BinnedSeries(times=(), values=())
+        assert "empty" in format_ascii_curve(series, "c")

@@ -1,0 +1,52 @@
+"""Tests for the observation-shape validation checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_point
+from repro.experiments.validation import format_checks, validate_observations
+
+CFG = ExperimentConfig.quick().with_(runs=2, post_fail_window=50.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for protocol in ("rip", "dbf", "bgp", "bgp3"):
+        for degree in (3, 4, 6):
+            out[(protocol, degree)] = run_point(protocol, degree, CFG)
+    return out
+
+
+class TestValidateObservations:
+    def test_real_sweep_passes_all_checks(self, sweep):
+        results = validate_observations(sweep)
+        failing = [r for r in results if r.passed is False]
+        assert not failing, format_checks(results)
+
+    def test_five_observation_checks(self, sweep):
+        results = validate_observations(sweep)
+        assert len(results) == 5
+
+    def test_missing_protocols_skip_not_fail(self, sweep):
+        partial = {k: v for k, v in sweep.items() if k[0] == "dbf"}
+        results = validate_observations(partial)
+        assert all(r.passed is not False for r in results[:4])
+        assert any(r.skipped for r in results)
+
+    def test_broken_sweep_fails_checks(self, sweep):
+        """A sweep where 'RIP' secretly performs like DBF must trip
+        Observation 1 (RIP is supposed to stay lossy)."""
+        broken = dict(sweep)
+        for degree in (3, 4, 6):
+            broken[("rip", degree)] = sweep[("dbf", degree)]
+        results = validate_observations(broken)
+        obs1 = results[0]
+        assert obs1.passed is False
+
+    def test_format_checks_readable(self, sweep):
+        text = format_checks(validate_observations(sweep))
+        assert "PASS" in text
+        assert "passed" in text

@@ -1,0 +1,68 @@
+"""Unit tests for loop analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.loops import analyze_deliveries, first_loop, path_has_loop
+from repro.traffic.flows import Delivery
+
+
+class TestPathPredicates:
+    def test_loop_free(self):
+        assert not path_has_loop([1, 2, 3])
+        assert first_loop([1, 2, 3]) is None
+
+    def test_simple_loop(self):
+        assert path_has_loop([1, 2, 1])
+        assert first_loop([1, 2, 1]) == (1, 2, 1)
+
+    def test_first_of_multiple_loops(self):
+        assert first_loop([0, 1, 2, 1, 3, 2]) == (1, 2, 1)
+
+    def test_loop_not_at_start(self):
+        assert first_loop([9, 1, 2, 3, 2]) == (2, 3, 2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=30))
+    def test_property_predicates_agree(self, path):
+        assert path_has_loop(path) == (first_loop(path) is not None)
+
+
+class TestAnalyzeDeliveries:
+    def _delivery(self, path, hops=None, pid=0):
+        if hops is None:
+            hops = len(path) - 2 if path else 0
+        return Delivery(
+            time=1.0,
+            delay=0.1,
+            hops=hops,
+            packet_id=pid,
+            path=tuple(path) if path else None,
+        )
+
+    def test_counts_escaped_loop_packets(self):
+        deliveries = [
+            self._delivery([0, 1, 2, 3]),
+            self._delivery([0, 1, 2, 1, 2, 3]),
+        ]
+        report = analyze_deliveries(deliveries)
+        assert report.delivered == 2
+        assert report.escaped_loop == 1
+        assert report.loop_cycles == ((1, 2, 1),)
+        assert report.escape_ratio == pytest.approx(0.5)
+
+    def test_extra_hops_vs_shortest(self):
+        deliveries = [self._delivery([0, 1, 2, 3], hops=8)]
+        report = analyze_deliveries(deliveries, shortest_hops=2)
+        assert report.max_extra_hops == 6
+
+    def test_paths_missing_tolerated(self):
+        report = analyze_deliveries([self._delivery(None)])
+        assert report.delivered == 1
+        assert report.escaped_loop == 0
+
+    def test_empty(self):
+        report = analyze_deliveries([])
+        assert report.delivered == 0
+        assert report.escape_ratio == 0.0

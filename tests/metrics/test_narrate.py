@@ -1,0 +1,111 @@
+"""Tests for convergence narration."""
+
+from __future__ import annotations
+
+from repro.metrics.convergence import PathSnapshot
+from repro.metrics.narrate import build_timeline, format_timeline
+from repro.sim.tracing import DropCause, LinkEventRecord, PacketRecord, RouteChangeRecord
+
+
+def route(t, node, dest, old, new):
+    return RouteChangeRecord(time=t, node=node, dest=dest, old_next_hop=old, new_next_hop=new)
+
+
+def drop(t, cause=DropCause.NO_ROUTE):
+    return PacketRecord(time=t, kind="drop", packet_id=1, node=2, flow_id=1, ttl=5, cause=cause)
+
+
+class TestBuildTimeline:
+    def test_chronological_order(self):
+        events = build_timeline(
+            route_changes=[route(5.0, 1, 9, 2, 3)],
+            link_events=[LinkEventRecord(time=1.0, node_a=1, node_b=2, up=False)],
+            snapshots=[PathSnapshot(time=3.0, path=(0, 1), state="broken")],
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert [e.kind for e in events] == ["link", "path", "route"]
+
+    def test_route_change_phrasing(self):
+        gained, lost, switched = build_timeline(
+            route_changes=[
+                route(1.0, 1, 9, None, 2),
+                route(2.0, 1, 9, 2, None),
+                route(3.0, 1, 9, 2, 3),
+            ]
+        )
+        assert "gained" in gained.text
+        assert "lost" in lost.text
+        assert "switched" in switched.text
+
+    def test_dest_filtering(self):
+        events = build_timeline(
+            route_changes=[route(1.0, 1, 9, None, 2), route(2.0, 1, 8, None, 2)],
+            dest=9,
+        )
+        assert len(events) == 1
+
+    def test_since_filtering(self):
+        events = build_timeline(
+            route_changes=[route(1.0, 1, 9, None, 2), route(10.0, 1, 9, 2, 3)],
+            since=5.0,
+        )
+        assert len(events) == 1
+
+    def test_drop_bursts_aggregated(self):
+        events = build_timeline(packets=[drop(4.1), drop(4.7), drop(6.2)])
+        drops = [e for e in events if e.kind == "drops"]
+        assert len(drops) == 2
+        assert "2 packet(s)" in drops[0].text
+
+    def test_loop_snapshot_called_out(self):
+        events = build_timeline(
+            snapshots=[PathSnapshot(time=2.0, path=(0, 1, 2, 1), state="loop")]
+        )
+        assert "LOOPS" in events[0].text
+
+
+class TestFormatTimeline:
+    def test_relative_times(self):
+        events = build_timeline(route_changes=[route(12.0, 1, 9, None, 2)])
+        text = format_timeline(events, origin=10.0)
+        assert "+2.000s" in text
+
+    def test_truncation(self):
+        events = build_timeline(
+            route_changes=[route(float(i), 1, 9, None, 2) for i in range(100)]
+        )
+        text = format_timeline(events, max_events=10)
+        assert "more events omitted" in text
+
+    def test_empty(self):
+        assert "(no events)" in format_timeline([])
+
+
+class TestEndToEnd:
+    def test_narrates_a_real_run(self):
+        """Full pipeline: run a failure, narrate it, sanity-check the story."""
+        from repro.net.failure import FailureInjector
+        from repro.metrics.convergence import ConvergenceTracker
+        from repro.topology import generators
+        from ..conftest import build_network
+
+        topo = generators.ring(4)
+        sim, net, _ = build_network(topo, "dbf")
+        for node in net.iter_nodes():
+            node.protocol.warm_start(topo)
+        tracker = ConvergenceTracker(net.bus, dest=2, src=0)
+        tracker.seed_from_network(net)
+        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector.fail_link(1, 2, at=10.0)
+        sim.run(until=30.0)
+        events = build_timeline(
+            route_changes=net.bus.route_changes,
+            link_events=net.bus.link_events,
+            snapshots=tracker.snapshots,
+            dest=2,
+            since=9.0,
+        )
+        text = format_timeline(events, origin=10.0)
+        assert "FAILED" in text
+        assert "switched route" in text or "lost its route" in text

@@ -1,0 +1,107 @@
+"""Unit + property tests for per-second time series."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.timeseries import (
+    BinnedSeries,
+    average_series,
+    delay_series,
+    throughput_series,
+)
+from repro.traffic.flows import Delivery
+
+
+def deliveries_at(times, delay=0.01):
+    return [Delivery(time=t, delay=delay, hops=3, packet_id=i) for i, t in enumerate(times)]
+
+
+class TestThroughputSeries:
+    def test_counts_per_bin(self):
+        d = deliveries_at([0.1, 0.2, 1.5, 2.9])
+        series = throughput_series(d, start=0.0, stop=3.0)
+        assert series.values == (2.0, 1.0, 1.0)
+        assert series.times == (0.0, 1.0, 2.0)
+
+    def test_out_of_window_ignored(self):
+        d = deliveries_at([-1.0, 0.5, 5.0])
+        series = throughput_series(d, start=0.0, stop=2.0)
+        assert sum(series.values) == 1.0
+
+    def test_origin_shifts_times(self):
+        series = throughput_series([], start=10.0, stop=12.0, origin=10.0)
+        assert series.times == (0.0, 1.0)
+
+    def test_bin_width_scales_rate(self):
+        d = deliveries_at([0.1, 0.2, 0.3, 0.4])
+        series = throughput_series(d, start=0.0, stop=1.0, bin_width=0.5)
+        assert series.values == (8.0, 0.0)  # 4 pkts in 0.5 s = 8 pkt/s
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_series([], start=1.0, stop=1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=9.999), max_size=100),
+    )
+    def test_property_total_preserved(self, times):
+        series = throughput_series(deliveries_at(times), start=0.0, stop=10.0)
+        assert sum(series.values) == pytest.approx(len(times))
+
+
+class TestDelaySeries:
+    def test_mean_delay_per_bin(self):
+        d = [
+            Delivery(time=0.1, delay=0.2, hops=1, packet_id=0),
+            Delivery(time=0.9, delay=0.4, hops=1, packet_id=1),
+            Delivery(time=1.5, delay=1.0, hops=1, packet_id=2),
+        ]
+        series = delay_series(d, start=0.0, stop=2.0)
+        assert series.values[0] == pytest.approx(0.3)
+        assert series.values[1] == pytest.approx(1.0)
+
+    def test_empty_bin_is_zero(self):
+        series = delay_series([], start=0.0, stop=2.0)
+        assert series.values == (0.0, 0.0)
+
+
+class TestBinnedSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            BinnedSeries(times=(0.0, 1.0), values=(1.0,))
+
+    def test_value_at(self):
+        series = BinnedSeries(times=(0.0, 1.0, 2.0), values=(5.0, 6.0, 7.0))
+        assert series.value_at(1.5) == 6.0
+        assert series.value_at(99.0) is None
+
+    def test_window(self):
+        series = BinnedSeries(times=(0.0, 1.0, 2.0, 3.0), values=(1.0, 2.0, 3.0, 4.0))
+        sub = series.window(1.0, 3.0)
+        assert sub.times == (1.0, 2.0)
+        assert sub.values == (2.0, 3.0)
+
+    def test_min_and_mean(self):
+        series = BinnedSeries(times=(0.0, 1.0), values=(2.0, 4.0))
+        assert series.min_value() == 2.0
+        assert series.mean_value() == 3.0
+
+
+class TestAverageSeries:
+    def test_pointwise_mean(self):
+        a = BinnedSeries(times=(0.0, 1.0), values=(2.0, 4.0))
+        b = BinnedSeries(times=(0.0, 1.0), values=(4.0, 8.0))
+        avg = average_series([a, b])
+        assert avg.values == (3.0, 6.0)
+
+    def test_misaligned_rejected(self):
+        a = BinnedSeries(times=(0.0, 1.0), values=(2.0, 4.0))
+        b = BinnedSeries(times=(0.0, 2.0), values=(4.0, 8.0))
+        with pytest.raises(ValueError):
+            average_series([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_series([])

@@ -1,0 +1,88 @@
+"""Tests for trace export/import."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.traceio import export_bus, read_trace, write_trace
+from repro.sim.tracing import (
+    DropCause,
+    LinkEventRecord,
+    MessageRecord,
+    PacketRecord,
+    RouteChangeRecord,
+    TraceBus,
+)
+
+SAMPLES = [
+    PacketRecord(time=1.0, kind="drop", packet_id=3, node=2, flow_id=1, ttl=5,
+                 cause=DropCause.TTL_EXPIRED),
+    PacketRecord(time=1.5, kind="deliver", packet_id=4, node=9, flow_id=1, ttl=120),
+    RouteChangeRecord(time=2.0, node=1, dest=9, old_next_hop=2, new_next_hop=None),
+    LinkEventRecord(time=3.0, node_a=1, node_b=2, up=False),
+    MessageRecord(time=4.0, sender=1, receiver=2, protocol="bgp", n_routes=1,
+                  is_withdrawal=True),
+]
+
+
+class TestRoundTrip:
+    def test_all_record_types_survive(self):
+        buf = io.StringIO()
+        assert write_trace(SAMPLES, buf) == len(SAMPLES)
+        buf.seek(0)
+        restored = list(read_trace(buf))
+        assert restored == SAMPLES
+
+    def test_jsonl_one_record_per_line(self):
+        buf = io.StringIO()
+        write_trace(SAMPLES, buf)
+        lines = [l for l in buf.getvalue().splitlines() if l]
+        assert len(lines) == len(SAMPLES)
+        import json
+
+        assert all(json.loads(l)["type"] for l in lines)
+
+    def test_blank_lines_ignored(self):
+        buf = io.StringIO('\n{"type": "link", "time": 1.0, "node_a": 1, "node_b": 2, "up": true}\n\n')
+        records = list(read_trace(buf))
+        assert len(records) == 1
+
+    def test_unknown_type_rejected(self):
+        buf = io.StringIO('{"type": "martian", "time": 1.0}\n')
+        with pytest.raises(ValueError):
+            list(read_trace(buf))
+
+
+class TestExportBus:
+    def test_exports_retained_records_in_time_order(self, tmp_path):
+        bus = TraceBus(keep_packets=True, keep_routes=True, keep_messages=True)
+        for record in reversed(SAMPLES):
+            bus.publish(record)
+        path = tmp_path / "trace.jsonl"
+        count = export_bus(bus, str(path))
+        assert count == len(SAMPLES)
+        with open(path) as f:
+            restored = list(read_trace(f))
+        times = [r.time for r in restored]
+        assert times == sorted(times)
+
+    def test_real_run_exports(self, tmp_path):
+        from repro.net.failure import FailureInjector
+        from repro.topology import generators
+        from ..conftest import build_network
+
+        topo = generators.ring(4)
+        sim, net, _ = build_network(topo, "dbf")
+        for node in net.iter_nodes():
+            node.protocol.warm_start(topo)
+        FailureInjector(sim, net, detection_delay=0.05).fail_link(0, 1, at=5.0)
+        sim.run(until=20.0)
+        path = tmp_path / "run.jsonl"
+        count = export_bus(net.bus, str(path))
+        assert count > 0
+        with open(path) as f:
+            restored = list(read_trace(f))
+        assert len(restored) == count

@@ -1,0 +1,91 @@
+"""Unit tests for the failure injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.failure import FailureInjector
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.topology import generators
+
+
+class Recorder:
+    def __init__(self):
+        self.down = []
+        self.up = []
+
+    def handle_link_down(self, neighbor):
+        self.down.append(neighbor)
+
+    def handle_link_up(self, neighbor):
+        self.up.append(neighbor)
+
+
+def make(detection_delay=0.05):
+    sim = Simulator()
+    bus = TraceBus()
+    net = Network(sim, generators.line(3), bus)
+    recorders = {}
+    for node in net.iter_nodes():
+        rec = Recorder()
+        recorders[node.id] = rec
+        node.attach_protocol(rec)
+    injector = FailureInjector(sim, net, detection_delay=detection_delay)
+    return sim, net, bus, recorders, injector
+
+
+class TestFailureInjection:
+    def test_link_goes_down_at_fail_time(self):
+        sim, net, bus, recorders, injector = make()
+        injector.fail_link(0, 1, at=5.0)
+        sim.run(until=4.9)
+        assert net.link(0, 1).up
+        sim.run(until=5.1)
+        assert not net.link(0, 1).up
+
+    def test_endpoints_notified_after_detection_delay(self):
+        sim, net, bus, recorders, injector = make(detection_delay=0.5)
+        injector.fail_link(0, 1, at=1.0)
+        sim.run(until=1.4)
+        assert recorders[0].down == []
+        sim.run(until=1.6)
+        assert recorders[0].down == [1]
+        assert recorders[1].down == [0]
+        assert recorders[2].down == []
+
+    def test_event_record_published(self):
+        sim, net, bus, recorders, injector = make()
+        injector.fail_link(1, 2, at=2.0)
+        sim.run()
+        assert len(bus.link_events) == 1
+        ev = bus.link_events[0]
+        assert (ev.node_a, ev.node_b, ev.up) == (1, 2, False)
+
+    def test_failure_event_metadata(self):
+        sim, net, bus, recorders, injector = make(detection_delay=0.05)
+        event = injector.fail_link(0, 1, at=3.0)
+        assert event.detect_time == 3.05
+        assert event.link_key == (0, 1)
+
+    def test_unknown_link_rejected_immediately(self):
+        sim, net, bus, recorders, injector = make()
+        with pytest.raises(KeyError):
+            injector.fail_link(0, 2, at=1.0)
+
+    def test_negative_detection_delay_rejected(self):
+        sim = Simulator()
+        net = Network(sim, generators.line(2))
+        with pytest.raises(ValueError):
+            FailureInjector(sim, net, detection_delay=-1.0)
+
+    def test_restore_notifies_link_up(self):
+        sim, net, bus, recorders, injector = make(detection_delay=0.1)
+        injector.fail_link(0, 1, at=1.0)
+        injector.restore_link(0, 1, at=2.0)
+        sim.run()
+        assert net.link(0, 1).up
+        assert recorders[0].up == [1]
+        assert recorders[1].up == [0]
+        assert injector.events[0].restored_time == 2.0

@@ -1,0 +1,75 @@
+"""Tests for control-plane priority queueing on links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.topology import generators
+from repro.topology.graph import LinkSpec
+
+
+def make_link(sim, priority_control):
+    delivered = []
+    link = Link(
+        sim,
+        LinkSpec(1, 2, delay=0.001, bandwidth=1_000_000),
+        deliver=lambda dst, p, src: delivered.append(p),
+        dropper=lambda *a: None,
+        priority_control=priority_control,
+    )
+    return link, delivered
+
+
+def data(n=500):
+    return Packet(src=1, dst=2, size_bytes=n)
+
+
+def control(n=100):
+    return Packet(src=1, dst=2, kind="control", ttl=1, size_bytes=n, payload=None)
+
+
+class TestPriorityQueueing:
+    def test_control_overtakes_queued_data(self, sim):
+        link, delivered = make_link(sim, priority_control=True)
+        # One data packet in service, three queued, then a control packet.
+        for _ in range(4):
+            link.transmit(1, data())
+        ctl = control()
+        link.transmit(1, ctl)
+        sim.run()
+        order = [p.kind for p in delivered]
+        # The control packet jumps ahead of the three queued data packets.
+        assert order == ["data", "control", "data", "data", "data"]
+
+    def test_fifo_without_priority(self, sim):
+        link, delivered = make_link(sim, priority_control=False)
+        for _ in range(4):
+            link.transmit(1, data())
+        link.transmit(1, control())
+        sim.run()
+        assert [p.kind for p in delivered] == ["data"] * 4 + ["control"]
+
+    def test_failure_flushes_both_queues(self, sim):
+        drops = []
+        link = Link(
+            sim,
+            LinkSpec(1, 2, delay=0.001, bandwidth=1_000_000),
+            deliver=lambda *a: None,
+            dropper=lambda p, n, c: drops.append(p),
+            priority_control=True,
+        )
+        link.transmit(1, data())
+        link.transmit(1, data())
+        link.transmit(1, control())
+        link.fail()
+        sim.run()
+        assert len(drops) == 3
+
+    def test_network_passes_flag_through(self):
+        sim = Simulator()
+        net = Network(sim, generators.line(2), priority_control=True)
+        assert net.link(0, 1).priority_control

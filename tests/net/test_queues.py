@@ -1,0 +1,73 @@
+"""Unit tests for the drop-tail queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+
+
+def _pkt():
+    return Packet(src=0, dst=1)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity=5)
+        packets = [_pkt() for _ in range(3)]
+        for p in packets:
+            assert q.push(p)
+        assert [q.pop() for _ in range(3)] == packets
+
+    def test_capacity_enforced(self):
+        q = DropTailQueue(capacity=2)
+        assert q.push(_pkt())
+        assert q.push(_pkt())
+        assert not q.push(_pkt())
+        assert q.dropped == 1
+        assert len(q) == 2
+
+    def test_pop_empty_returns_none(self):
+        assert DropTailQueue(capacity=1).pop() is None
+
+    def test_drain_empties_queue(self):
+        q = DropTailQueue(capacity=5)
+        packets = [_pkt() for _ in range(4)]
+        for p in packets:
+            q.push(p)
+        assert q.drain() == packets
+        assert q.empty
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity=0)
+
+    def test_counters(self):
+        q = DropTailQueue(capacity=1)
+        q.push(_pkt())
+        q.push(_pkt())
+        assert q.enqueued == 1
+        assert q.dropped == 1
+
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_property_len_never_exceeds_capacity(self, ops):
+        q = DropTailQueue(capacity=7)
+        model: list[int] = []
+        for push in ops:
+            if push:
+                p = _pkt()
+                ok = q.push(p)
+                if len(model) < 7:
+                    assert ok
+                    model.append(p.packet_id)
+                else:
+                    assert not ok
+            else:
+                got = q.pop()
+                if model:
+                    assert got is not None and got.packet_id == model.pop(0)
+                else:
+                    assert got is None
+            assert len(q) == len(model) <= 7

@@ -1,0 +1,156 @@
+"""Tests for route flap damping (RFC 2439 machinery + BGP integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.failure import FailureInjector
+from repro.routing.bgp import BgpConfig, BgpProtocol
+from repro.routing.damping import DampingConfig, RouteDampener
+from repro.routing.messages import PathVectorUpdate, PathVectorWithdrawal
+from repro.routing.rib import PathAttr
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.topology import generators
+
+from ..conftest import build_network
+
+CFG = DampingConfig(
+    suppress_threshold=2000.0,
+    reuse_threshold=750.0,
+    half_life=10.0,
+    withdrawal_penalty=1000.0,
+    readvertisement_penalty=500.0,
+    max_suppress_time=60.0,
+)
+
+
+class TestRouteDampener:
+    def _dampener(self, sim, on_reuse=None):
+        events = []
+        dampener = RouteDampener(sim, CFG, on_reuse or events.append)
+        return dampener, events
+
+    def test_single_flap_does_not_suppress(self, sim):
+        dampener, _ = self._dampener(sim)
+        dampener.record_withdrawal(("n", 5))
+        assert not dampener.is_suppressed(("n", 5))
+        assert dampener.penalty(("n", 5)) == pytest.approx(1000.0)
+
+    def test_repeated_flaps_suppress(self, sim):
+        dampener, _ = self._dampener(sim)
+        dampener.record_withdrawal(("n", 5))
+        dampener.record_withdrawal(("n", 5))
+        assert dampener.is_suppressed(("n", 5))
+        assert dampener.suppressions == 1
+
+    def test_penalty_decays_exponentially(self, sim):
+        dampener, _ = self._dampener(sim)
+        dampener.record_withdrawal(("n", 5))
+        sim.run(until=10.0)  # one half-life
+        assert dampener.penalty(("n", 5)) == pytest.approx(500.0, rel=1e-6)
+
+    def test_reuse_fires_when_penalty_decays(self, sim):
+        reused = []
+        dampener = RouteDampener(sim, CFG, reused.append)
+        dampener.record_withdrawal(("n", 5))
+        dampener.record_withdrawal(("n", 5))
+        sim.run(until=60.0)
+        assert reused == [("n", 5)]
+        assert not dampener.is_suppressed(("n", 5))
+        # Penalty 2000 decays to reuse 750 after h*log2(2000/750) ~ 14.2 s.
+        assert 10.0 < sim.now
+
+    def test_forget_clears_state_and_cancels_reuse(self, sim):
+        reused = []
+        dampener = RouteDampener(sim, CFG, reused.append)
+        dampener.record_withdrawal(("n", 5))
+        dampener.record_withdrawal(("n", 5))
+        dampener.forget("n")
+        sim.run(until=120.0)
+        assert reused == []
+        assert dampener.penalty(("n", 5)) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DampingConfig(reuse_threshold=0)
+        with pytest.raises(ValueError):
+            DampingConfig(suppress_threshold=700.0, reuse_threshold=750.0)
+        with pytest.raises(ValueError):
+            DampingConfig(half_life=0)
+
+
+class TestBgpDampingIntegration:
+    def _speaker(self):
+        sim, net, _ = build_network(generators.star(2), "none")
+        config = BgpConfig(mrai_base=0.1, mrai_jitter=0.0, damping=CFG, label="bgp-rfd")
+        proto = BgpProtocol(net.node(0), RngStreams(1), net, config)
+        proto.start()
+        return sim, net, proto
+
+    def _flap(self, proto, times: int, dest=9, neighbor=1):
+        for i in range(times):
+            proto.handle_message(
+                PathVectorUpdate(path=PathAttr.of((neighbor, dest)), dests=(dest,)),
+                from_node=neighbor,
+            )
+            proto.handle_message(PathVectorWithdrawal(dests=(dest,)), from_node=neighbor)
+
+    def test_flapping_route_gets_suppressed(self):
+        sim, net, proto = self._speaker()
+        self._flap(proto, times=3)
+        # Re-announce: the route is cached but suppressed, so not selected.
+        proto.handle_message(
+            PathVectorUpdate(path=PathAttr.of((1, 9)), dests=(9,)), from_node=1
+        )
+        assert proto.rib_in[1][9] is not None
+        assert proto.best.get(9) is None
+        assert net.node(0).next_hop(9) is None
+
+    def test_stable_alternate_still_usable(self):
+        sim, net, proto = self._speaker()
+        proto.handle_message(
+            PathVectorUpdate(path=PathAttr.of((2, 8, 9)), dests=(9,)), from_node=2
+        )
+        self._flap(proto, times=3, neighbor=1)
+        proto.handle_message(
+            PathVectorUpdate(path=PathAttr.of((1, 9)), dests=(9,)), from_node=1
+        )
+        # Neighbor 1's shorter path is damped; the stable longer one wins.
+        assert proto.best[9].first_hop == 2
+
+    def test_reuse_restores_selection(self):
+        sim, net, proto = self._speaker()
+        self._flap(proto, times=3)
+        proto.handle_message(
+            PathVectorUpdate(path=PathAttr.of((1, 9)), dests=(9,)), from_node=1
+        )
+        assert proto.best.get(9) is None
+        sim.run(until=120.0)  # allow penalty decay + reuse
+        assert proto.best.get(9) is not None
+        assert net.node(0).next_hop(9) == 1
+
+    def test_damping_suppresses_transient_loops(self):
+        """In a loop-forming failure layout, damping suppresses the flapping
+        stale alternates, cutting TTL deaths (the flip side of Mao et al.'s
+        effect — the harmful side needs production 15-minute half-lives that
+        exceed this experiment's window; see EXPERIMENTS.md)."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_scenario
+
+        cfg = ExperimentConfig.quick().with_(post_fail_window=60.0)
+        plain = run_scenario("bgp3", 5, 4, cfg)  # known loop layout
+        damped = run_scenario("bgp3-rfd", 5, 4, cfg)
+        assert plain.drops_ttl > 0
+        assert damped.drops_ttl < plain.drops_ttl
+        assert damped.delivered >= plain.delivered
+
+    def test_damping_is_inert_without_flaps(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_scenario
+
+        cfg = ExperimentConfig.quick().with_(post_fail_window=60.0)
+        plain = run_scenario("bgp3", 5, 9, cfg)  # clean switch-over layout
+        damped = run_scenario("bgp3-rfd", 5, 9, cfg)
+        assert damped.delivered == plain.delivered
+        assert damped.drops_ttl == plain.drops_ttl == 0

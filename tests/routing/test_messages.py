@@ -1,0 +1,80 @@
+"""Unit + property tests for message formats and packing rules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import CONTROL_HEADER_BYTES
+from repro.routing.messages import (
+    DV_MAX_ROUTES_PER_MESSAGE,
+    DV_ROUTE_ENTRY_BYTES,
+    DistanceVectorUpdate,
+    PathVectorUpdate,
+    PathVectorWithdrawal,
+    pack_distance_vector,
+    pack_path_vector,
+)
+from repro.routing.rib import PathAttr
+
+
+class TestDistanceVectorPacking:
+    def test_small_set_fits_one_message(self):
+        msgs = pack_distance_vector([(1, 2), (3, 4)])
+        assert len(msgs) == 1
+        assert msgs[0].routes == ((1, 2), (3, 4))
+
+    def test_25_entry_limit(self):
+        routes = [(d, 1) for d in range(60)]
+        msgs = pack_distance_vector(routes)
+        assert [len(m) for m in msgs] == [25, 25, 10]
+
+    def test_routes_sorted_for_determinism(self):
+        msgs = pack_distance_vector([(5, 1), (2, 1), (9, 1)])
+        assert msgs[0].routes == ((2, 1), (5, 1), (9, 1))
+
+    def test_empty_input_no_messages(self):
+        assert pack_distance_vector([]) == []
+
+    def test_size_accounting(self):
+        msg = DistanceVectorUpdate(routes=((1, 2), (3, 4)))
+        assert msg.size_bytes == CONTROL_HEADER_BYTES + 2 * DV_ROUTE_ENTRY_BYTES
+
+    @given(st.sets(st.integers(min_value=0, max_value=500), max_size=200))
+    def test_property_packing_preserves_routes(self, dests):
+        routes = [(d, d % 16) for d in dests]
+        msgs = pack_distance_vector(routes)
+        unpacked = [r for m in msgs for r in m.routes]
+        assert sorted(unpacked) == sorted(routes)
+        assert all(len(m) <= DV_MAX_ROUTES_PER_MESSAGE for m in msgs)
+
+
+class TestPathVectorMessages:
+    def test_update_size_grows_with_path(self):
+        short = PathVectorUpdate(path=PathAttr.of((1, 9)), dests=(9,))
+        long = PathVectorUpdate(path=PathAttr.of((1, 2, 3, 9)), dests=(9,))
+        assert long.size_bytes > short.size_bytes
+
+    def test_update_requires_dests(self):
+        with pytest.raises(ValueError):
+            PathVectorUpdate(path=PathAttr.of((1, 9)), dests=())
+
+    def test_withdrawal_requires_dests(self):
+        with pytest.raises(ValueError):
+            PathVectorWithdrawal(dests=())
+
+    def test_withdrawal_len(self):
+        assert len(PathVectorWithdrawal(dests=(1, 2, 3))) == 3
+
+    def test_pack_groups_by_identical_path(self):
+        p = PathAttr.of((1, 9))
+        msgs = pack_path_vector([(9, p), (9, p)])
+        assert len(msgs) == 1
+
+    def test_pack_distinct_paths_get_distinct_messages(self):
+        # Each destination has its own path in shortest-path routing, so one
+        # failure fans out into several updates (the Figure 4 effect).
+        msgs = pack_path_vector(
+            [(9, PathAttr.of((1, 9))), (8, PathAttr.of((1, 8)))]
+        )
+        assert len(msgs) == 2

@@ -1,0 +1,83 @@
+"""Tests for RIP hold-down (count-to-infinity insurance vs recovery speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.failure import FailureInjector
+from repro.routing.dv_common import DistanceVectorConfig
+from repro.routing.messages import DistanceVectorUpdate
+from repro.routing.rip import RipProtocol
+from repro.sim.rng import RngStreams
+from repro.topology import generators
+
+from ..conftest import build_network
+
+HD = DistanceVectorConfig(holddown=40.0)
+
+
+class TestHolddownMechanics:
+    def _speaker(self, config=HD):
+        sim, net, _ = build_network(generators.star(2), "none")
+        proto = RipProtocol(net.node(0), RngStreams(1), config)
+        proto.start()
+        proto._periodic.stop()
+        return sim, net, proto
+
+    def test_replacement_refused_during_holddown(self):
+        sim, net, proto = self._speaker()
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=1)
+        # Next hop poisons the route: hold-down starts.
+        proto.handle_message(
+            DistanceVectorUpdate(routes=((9, HD.infinity),)), from_node=1
+        )
+        assert proto.route_metric(9) is None
+        # Another neighbor offers a perfectly good path: refused.
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=2)
+        assert proto.route_metric(9) is None
+
+    def test_original_neighbor_may_revive_early(self):
+        sim, net, proto = self._speaker()
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=1)
+        proto.handle_message(
+            DistanceVectorUpdate(routes=((9, HD.infinity),)), from_node=1
+        )
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 2),)), from_node=1)
+        assert proto.route_metric(9) == 3
+
+    def test_replacement_accepted_after_expiry(self):
+        sim, net, proto = self._speaker()
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=1)
+        proto.handle_message(
+            DistanceVectorUpdate(routes=((9, HD.infinity),)), from_node=1
+        )
+        sim.run(until=50.0)  # past the 40 s hold-down
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=2)
+        assert proto.route_metric(9) == 2
+
+    def test_zero_holddown_is_plain_rip(self):
+        sim, net, proto = self._speaker(config=DistanceVectorConfig())
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=1)
+        proto.handle_message(
+            DistanceVectorUpdate(routes=((9, 16),)), from_node=1
+        )
+        proto.handle_message(DistanceVectorUpdate(routes=((9, 1),)), from_node=2)
+        assert proto.route_metric(9) == 2  # immediately accepted
+
+    def test_negative_holddown_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceVectorConfig(holddown=-1.0)
+
+
+class TestHolddownTradeoff:
+    def test_holddown_slows_recovery(self):
+        """The ablation's point: hold-down delays the periodic-update rescue
+        that plain RIP relies on after a failure."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_scenario
+
+        cfg = ExperimentConfig.quick().with_(post_fail_window=60.0)
+        plain = run_scenario("rip", 4, 1, cfg)
+        held = run_scenario("rip-hd", 4, 1, cfg)
+        assert held.delivered <= plain.delivered
+        assert held.drops_no_route >= plain.drops_no_route

@@ -1,0 +1,124 @@
+"""Unit tests for timer helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import JitteredInterval, OneShotTimer, PeriodicTimer
+
+
+class TestJitteredInterval:
+    def test_no_jitter_is_constant(self):
+        interval = JitteredInterval(30.0, 0.0, random.Random(1))
+        assert all(interval.sample() == 30.0 for _ in range(10))
+
+    def test_samples_within_bounds(self):
+        interval = JitteredInterval(30.0, 5.0, random.Random(1))
+        for _ in range(200):
+            s = interval.sample()
+            assert 25.0 <= s <= 35.0
+
+    def test_mean_property(self):
+        assert JitteredInterval(3.0, 0.5, random.Random(0)).mean == 3.0
+
+    @pytest.mark.parametrize("base,jitter", [(0.0, 0.0), (-1.0, 0.0), (5.0, 6.0), (5.0, -1.0)])
+    def test_invalid_parameters_rejected(self, base, jitter):
+        with pytest.raises(ValueError):
+            JitteredInterval(base, jitter, random.Random(0))
+
+    @given(
+        base=st.floats(min_value=0.1, max_value=100),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**30),
+    )
+    def test_property_bounds(self, base, frac, seed):
+        jitter = base * frac
+        interval = JitteredInterval(base, jitter, random.Random(seed))
+        s = interval.sample()
+        assert base - jitter - 1e-9 <= s <= base + jitter + 1e-9
+
+
+class TestOneShotTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_replaces_pending_fire(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.start(5.0))
+        sim.run()
+        assert fired == [6.0]
+
+    def test_cancel_prevents_fire(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_running_and_expiry_introspection(self, sim):
+        timer = OneShotTimer(sim, lambda: None)
+        assert not timer.running
+        assert timer.expires_at is None
+        timer.start(3.0)
+        assert timer.running
+        assert timer.expires_at == 3.0
+        sim.run()
+        assert not timer.running
+
+    def test_can_restart_after_firing(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self, sim):
+        fired = []
+        interval = JitteredInterval(1.0, 0.0, random.Random(0))
+        timer = PeriodicTimer(sim, interval, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_initial_delay_override(self, sim):
+        fired = []
+        interval = JitteredInterval(10.0, 0.0, random.Random(0))
+        timer = PeriodicTimer(sim, interval, lambda: fired.append(sim.now))
+        timer.start(initial_delay=0.5)
+        sim.run(until=11.0)
+        assert fired == [0.5, 10.5]
+
+    def test_stop_ends_cycle(self, sim):
+        fired = []
+        interval = JitteredInterval(1.0, 0.0, random.Random(0))
+        timer = PeriodicTimer(sim, interval, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+        assert not timer.running
+
+    def test_jittered_cycles_stay_in_bounds(self, sim):
+        fired = []
+        interval = JitteredInterval(1.0, 0.3, random.Random(7))
+        timer = PeriodicTimer(sim, interval, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=50.0)
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert gaps, "expected multiple fires"
+        assert all(0.7 - 1e-9 <= g <= 1.3 + 1e-9 for g in gaps)

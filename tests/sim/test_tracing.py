@@ -1,0 +1,82 @@
+"""Unit tests for the trace bus."""
+
+from __future__ import annotations
+
+from repro.sim.tracing import (
+    DropCause,
+    LinkEventRecord,
+    MessageRecord,
+    PacketRecord,
+    RouteChangeRecord,
+    TraceBus,
+)
+
+
+def _packet(kind="drop", cause=DropCause.NO_ROUTE):
+    return PacketRecord(
+        time=1.0, kind=kind, packet_id=1, node=2, flow_id=1, ttl=10, cause=cause
+    )
+
+
+class TestTraceBus:
+    def test_subscribers_receive_matching_records(self):
+        bus = TraceBus()
+        got = []
+        bus.subscribe(PacketRecord, got.append)
+        record = _packet()
+        bus.publish(record)
+        assert got == [record]
+
+    def test_subscribers_ignore_other_types(self):
+        bus = TraceBus()
+        got = []
+        bus.subscribe(RouteChangeRecord, got.append)
+        bus.publish(_packet())
+        assert got == []
+
+    def test_multiple_subscribers_all_called(self):
+        bus = TraceBus()
+        a, b = [], []
+        bus.subscribe(PacketRecord, a.append)
+        bus.subscribe(PacketRecord, b.append)
+        bus.publish(_packet())
+        assert len(a) == len(b) == 1
+
+    def test_retention_flags(self):
+        bus = TraceBus(keep_packets=False, keep_routes=True, keep_messages=False)
+        bus.publish(_packet())
+        bus.publish(
+            RouteChangeRecord(time=0.0, node=1, dest=2, old_next_hop=None, new_next_hop=3)
+        )
+        bus.publish(
+            MessageRecord(time=0.0, sender=1, receiver=2, protocol="rip", n_routes=5)
+        )
+        assert bus.packets == []
+        assert len(bus.route_changes) == 1
+        assert bus.messages == []
+
+    def test_link_events_always_kept(self):
+        bus = TraceBus()
+        bus.publish(LinkEventRecord(time=1.0, node_a=1, node_b=2, up=False))
+        assert len(bus.link_events) == 1
+
+    def test_clear_drops_records_keeps_subscriptions(self):
+        bus = TraceBus(keep_packets=True)
+        got = []
+        bus.subscribe(PacketRecord, got.append)
+        bus.publish(_packet())
+        bus.clear()
+        assert bus.packets == []
+        bus.publish(_packet())
+        assert len(got) == 2
+
+    def test_retention_even_without_subscribers(self):
+        bus = TraceBus(keep_packets=True)
+        bus.publish(_packet())
+        assert len(bus.packets) == 1
+
+
+class TestDropCause:
+    def test_all_causes_distinct(self):
+        values = [c.value for c in DropCause]
+        assert len(values) == len(set(values)) == 4

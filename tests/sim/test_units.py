@@ -1,0 +1,42 @@
+"""Unit tests for unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import units
+
+
+class TestTransmissionDelay:
+    def test_paper_link_and_packet(self):
+        # 500 bytes at 1 Mbps = 4 ms.
+        assert units.transmission_delay(500, 1 * units.MEGABITS) == pytest.approx(0.004)
+
+    def test_zero_size_is_instant(self):
+        assert units.transmission_delay(0, units.MEGABITS) == 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay(100, 0)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay(-1, units.MEGABITS)
+
+    @given(
+        size=st.integers(min_value=0, max_value=10**6),
+        bw=st.floats(min_value=1e3, max_value=1e10),
+    )
+    def test_property_linear_in_size(self, size, bw):
+        d1 = units.transmission_delay(size, bw)
+        d2 = units.transmission_delay(size * 2, bw)
+        assert d2 == pytest.approx(2 * d1)
+
+
+def test_constants_consistent():
+    assert units.SECONDS == 1.0
+    assert units.MILLISECONDS == pytest.approx(1e-3)
+    assert units.MINUTES == 60.0
+    assert units.MEGABITS == 1000 * units.KILOBITS
+    assert units.BITS_PER_BYTE == 8

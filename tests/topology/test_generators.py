@@ -1,0 +1,89 @@
+"""Unit tests for auxiliary topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import generators
+
+
+class TestBasicShapes:
+    def test_line(self):
+        topo = generators.line(4)
+        assert topo.n_nodes == 4 and topo.n_links == 3
+        assert topo.degree(0) == 1 and topo.degree(1) == 2
+
+    def test_ring(self):
+        topo = generators.ring(5)
+        assert topo.n_links == 5
+        assert all(topo.degree(n) == 2 for n in topo.nodes)
+
+    def test_star(self):
+        topo = generators.star(4)
+        assert topo.degree(0) == 4
+        assert all(topo.degree(n) == 1 for n in range(1, 5))
+
+    def test_complete(self):
+        topo = generators.complete(5)
+        assert topo.n_links == 10
+        assert all(topo.degree(n) == 4 for n in topo.nodes)
+
+    @pytest.mark.parametrize(
+        "func,arg", [(generators.line, 1), (generators.ring, 2), (generators.star, 0), (generators.complete, 1)]
+    )
+    def test_minimum_sizes_enforced(self, func, arg):
+        with pytest.raises(ValueError):
+            func(arg)
+
+
+class TestRandomRegular:
+    def test_connected_and_regular(self):
+        topo = generators.random_regular(20, 4, seed=7)
+        assert topo.is_connected()
+        assert all(topo.degree(n) == 4 for n in topo.nodes)
+
+    def test_deterministic_per_seed(self):
+        a = generators.random_regular(12, 3, seed=3)
+        b = generators.random_regular(12, 3, seed=3)
+        assert set(a.links) == set(b.links)
+
+    def test_odd_parity_rejected(self):
+        with pytest.raises(ValueError):
+            generators.random_regular(7, 3, seed=1)
+
+    def test_degree_ge_n_rejected(self):
+        with pytest.raises(ValueError):
+            generators.random_regular(4, 4, seed=1)
+
+
+class TestAttachHost:
+    def test_attach_allocates_fresh_id(self):
+        topo = generators.ring(5)
+        host = generators.attach_host(topo, router=2)
+        assert host == 5
+        assert topo.degree(host) == 1
+        assert topo.has_link(2, host)
+
+    def test_attach_explicit_id(self):
+        topo = generators.ring(5)
+        host = generators.attach_host(topo, router=0, host=100)
+        assert host == 100
+
+    def test_attach_to_unknown_router_rejected(self):
+        topo = generators.ring(5)
+        with pytest.raises(ValueError):
+            generators.attach_host(topo, router=99)
+
+    def test_attach_duplicate_host_rejected(self):
+        topo = generators.ring(5)
+        with pytest.raises(ValueError):
+            generators.attach_host(topo, router=0, host=3)
+
+
+class TestFromNetworkx:
+    def test_round_trip(self):
+        import networkx as nx
+
+        g = nx.cycle_graph(6)
+        topo = generators.from_networkx(g, name="cycle")
+        assert topo.n_nodes == 6 and topo.n_links == 6

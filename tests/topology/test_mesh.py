@@ -1,0 +1,95 @@
+"""Unit + property tests for the Baran regular-mesh family (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.mesh import (
+    MAX_DEGREE,
+    MIN_DEGREE,
+    interior_nodes,
+    node_at,
+    regular_mesh,
+)
+from repro.topology.validate import check_interior_degree
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("degree", range(MIN_DEGREE, MAX_DEGREE + 1))
+    def test_paper_mesh_interior_degree(self, degree):
+        topo = regular_mesh(7, 7, degree)
+        interior = interior_nodes(topo, 7, 7)
+        check_interior_degree(topo, interior, degree)
+
+    @pytest.mark.parametrize("degree", range(MIN_DEGREE, MAX_DEGREE + 1))
+    def test_paper_mesh_connected(self, degree):
+        assert regular_mesh(7, 7, degree).is_connected()
+
+    def test_49_nodes_like_the_paper(self):
+        assert regular_mesh(7, 7, 4).n_nodes == 49
+
+    def test_degree_4_is_plain_grid(self):
+        topo = regular_mesh(3, 3, 4)
+        # 2*3*2 = 12 links in a 3x3 grid.
+        assert topo.n_links == 12
+
+    def test_degree_6_has_diagonals(self):
+        topo = regular_mesh(3, 3, 6)
+        assert topo.has_link(node_at(0, 0, 3), node_at(1, 1, 3))
+
+    def test_degree_3_brick_pattern_removes_vertical_links(self):
+        full = regular_mesh(7, 7, 4).n_links
+        brick = regular_mesh(7, 7, 3).n_links
+        assert brick < full
+
+    def test_richer_degree_has_more_links(self):
+        counts = [regular_mesh(7, 7, d).n_links for d in range(3, 9)]
+        assert counts == sorted(counts)
+        assert len(set(counts)) == len(counts)
+
+    def test_positions_recorded(self):
+        topo = regular_mesh(3, 3, 4)
+        assert topo.positions[node_at(1, 2, 3)] == (1, 2)
+
+    @pytest.mark.parametrize("degree", [2, 9])
+    def test_unsupported_degree_rejected(self, degree):
+        with pytest.raises(ValueError):
+            regular_mesh(7, 7, degree)
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            regular_mesh(2, 7, 4)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(min_value=3, max_value=9),
+        cols=st.integers(min_value=3, max_value=9),
+        degree=st.integers(min_value=MIN_DEGREE, max_value=MAX_DEGREE),
+    )
+    def test_interior_regularity_any_size(self, rows, cols, degree):
+        topo = regular_mesh(rows, cols, degree)
+        interior = interior_nodes(topo, rows, cols)
+        check_interior_degree(topo, interior, degree)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(min_value=3, max_value=9),
+        cols=st.integers(min_value=3, max_value=9),
+        degree=st.integers(min_value=MIN_DEGREE, max_value=MAX_DEGREE),
+    )
+    def test_always_connected(self, rows, cols, degree):
+        assert regular_mesh(rows, cols, degree).is_connected()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(min_value=3, max_value=8),
+        cols=st.integers(min_value=3, max_value=8),
+        degree=st.integers(min_value=MIN_DEGREE, max_value=MAX_DEGREE),
+    )
+    def test_border_degree_never_exceeds_interior(self, rows, cols, degree):
+        topo = regular_mesh(rows, cols, degree)
+        for node in topo.nodes:
+            assert topo.degree(node) <= degree

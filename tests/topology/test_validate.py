@@ -1,0 +1,40 @@
+"""Unit tests for topology validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import generators
+from repro.topology.graph import Topology
+from repro.topology.validate import (
+    TopologyError,
+    check_connected,
+    check_interior_degree,
+    degree_histogram,
+)
+
+
+class TestValidation:
+    def test_check_connected_passes(self):
+        check_connected(generators.ring(4))
+
+    def test_check_connected_raises(self):
+        topo = Topology()
+        topo.connect(0, 1)
+        topo.add_node(5)
+        with pytest.raises(TopologyError):
+            check_connected(topo)
+
+    def test_degree_histogram(self):
+        topo = generators.star(3)
+        assert degree_histogram(topo) == {3: 1, 1: 3}
+
+    def test_check_interior_degree_passes(self):
+        topo = generators.ring(5)
+        check_interior_degree(topo, list(topo.nodes), 2)
+
+    def test_check_interior_degree_reports_violations(self):
+        topo = generators.line(4)
+        with pytest.raises(TopologyError) as exc:
+            check_interior_degree(topo, [0, 1], 2)
+        assert "0" in str(exc.value)

@@ -1,0 +1,65 @@
+"""Unit tests for the packet sink and flow statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.topology import generators
+from repro.traffic.flows import Delivery, FlowStats
+from repro.traffic.sink import PacketSink
+
+
+class TestPacketSink:
+    def _deliver_one(self, record_paths=False):
+        sim = Simulator()
+        net = Network(sim, generators.line(3), record_paths=record_paths)
+        net.node(0).set_next_hop(2, 1)
+        net.node(1).set_next_hop(2, 2)
+        sink = PacketSink(flow_id=1, ttl_at_send=64)
+        net.node(2).attach_app(sink)
+        net.node(0).originate(Packet(src=0, dst=2, flow_id=1, ttl=64, size_bytes=64))
+        sim.run()
+        return sim, sink
+
+    def test_records_delivery_with_delay_and_hops(self):
+        sim, sink = self._deliver_one()
+        assert sink.stats.delivered == 1
+        d = sink.stats.deliveries[0]
+        assert d.delay == pytest.approx(sim.now)  # sent at t=0
+        assert d.hops == 1  # one intermediate router decremented TTL
+
+    def test_path_recorded_when_enabled(self):
+        sim, sink = self._deliver_one(record_paths=True)
+        assert sink.stats.deliveries[0].path == (0, 1, 2)
+
+    def test_other_flows_ignored(self):
+        sim = Simulator()
+        net = Network(sim, generators.line(2))
+        net.node(0).set_next_hop(1, 1)
+        sink = PacketSink(flow_id=1)
+        net.node(1).attach_app(sink)
+        net.node(0).originate(Packet(src=0, dst=1, flow_id=2))
+        sim.run()
+        assert sink.stats.delivered == 0
+
+
+class TestFlowStats:
+    def test_ratios_and_aggregates(self):
+        stats = FlowStats(sent=10, delivered=2)
+        stats.deliveries = [
+            Delivery(time=1.0, delay=0.1, hops=3, packet_id=1),
+            Delivery(time=2.0, delay=0.3, hops=5, packet_id=2),
+        ]
+        assert stats.lost == 8
+        assert stats.delivery_ratio == pytest.approx(0.2)
+        assert stats.mean_delay == pytest.approx(0.2)
+        assert stats.max_delay == pytest.approx(0.3)
+
+    def test_empty_stats(self):
+        stats = FlowStats()
+        assert stats.delivery_ratio == 0.0
+        assert stats.mean_delay == 0.0
+        assert stats.max_delay == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the reliable transport (TCP-like window/timeout flow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.failure import FailureInjector
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.topology import generators
+from repro.traffic.transport import (
+    ReliableReceiver,
+    ReliableSender,
+    TransportConfig,
+)
+
+
+def make_line(n=4):
+    sim = Simulator()
+    net = Network(sim, generators.line(n))
+    # Static routes in both directions.
+    for i in range(n - 1):
+        net.node(i).set_next_hop(n - 1, i + 1)
+    for i in range(1, n):
+        net.node(i).set_next_hop(0, i - 1)
+    return sim, net
+
+
+def make_pair(sim, net, total=50, n=4, config=None):
+    config = config or TransportConfig()
+    ReliableReceiver(net, n - 1, 0, flow_id=1, config=config)
+    tx = ReliableSender(sim, net, 0, n - 1, flow_id=1, total_segments=total, config=config)
+    return tx
+
+
+class TestTransferBasics:
+    def test_completes_in_order(self):
+        sim, net = make_line()
+        tx = make_pair(sim, net, total=50)
+        tx.start()
+        sim.run(until=60.0)
+        assert tx.done
+        assert tx.stats.completed
+        assert tx.stats.retransmissions == 0
+        assert tx.stats.transmissions == 50
+
+    def test_window_limits_outstanding_segments(self):
+        sim, net = make_line()
+        cfg = TransportConfig(window=4)
+        tx = make_pair(sim, net, total=100, config=cfg)
+        tx.start()
+        # Before any ACK returns, exactly `window` segments are out.
+        assert tx.stats.transmissions == 4
+
+    def test_progress_curve_monotone(self):
+        sim, net = make_line()
+        tx = make_pair(sim, net, total=30)
+        tx.start()
+        sim.run(until=60.0)
+        acks = [cum for _, cum in tx.stats.progress]
+        assert acks == sorted(acks)
+        assert acks[-1] == 30
+
+    def test_start_idempotent(self):
+        sim, net = make_line()
+        tx = make_pair(sim, net, total=10)
+        tx.start()
+        tx.start()
+        sim.run(until=60.0)
+        assert tx.stats.transmissions == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportConfig(window=0)
+        with pytest.raises(ValueError):
+            TransportConfig(initial_rto=0)
+        sim, net = make_line()
+        with pytest.raises(ValueError):
+            ReliableSender(sim, net, 0, 3, flow_id=1, total_segments=0)
+
+
+class TestLossRecovery:
+    def test_retransmits_through_an_outage(self):
+        """Break the path mid-transfer, repair it, and require completion."""
+        sim, net = make_line()
+        cfg = TransportConfig(window=4, initial_rto=0.5)
+        tx = make_pair(sim, net, total=200, config=cfg)
+        tx.start()
+        injector = FailureInjector(sim, net, detection_delay=0.01)
+        injector.fail_link(1, 2, at=0.2)
+        injector.restore_link(1, 2, at=3.0)
+        sim.run(until=120.0)
+        assert tx.done
+        assert tx.stats.retransmissions > 0
+        assert tx.stats.timeouts > 0
+
+    def test_rto_backoff_during_blackhole(self):
+        sim, net = make_line()
+        cfg = TransportConfig(window=2, initial_rto=0.5, max_rto=4.0)
+        tx = make_pair(sim, net, total=10, config=cfg)
+        tx.start()
+        net.link(1, 2).fail()  # permanent: timeouts back off exponentially
+        sim.run(until=30.0)
+        assert not tx.done
+        # Timeouts at 0.5, 1, 2, 4, 4, 4... -> at most ~9 in 30 s.
+        assert 4 <= tx.stats.timeouts <= 10
+
+    def test_duplicate_segments_acked_not_redelivered(self):
+        sim, net = make_line()
+        cfg = TransportConfig(window=2, initial_rto=0.2)
+        rx = ReliableReceiver(net, 3, 0, flow_id=1, config=cfg)
+        tx = ReliableSender(sim, net, 0, 3, flow_id=1, total_segments=5, config=cfg)
+        tx.start()
+        sim.run(until=30.0)
+        assert tx.done
+        # Receiver saw every segment at least once; next_expected is final.
+        assert rx.next_expected == 5
