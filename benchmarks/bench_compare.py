@@ -1,0 +1,92 @@
+"""Diff two ``bench_engine.py --json`` outputs and print a speedup table.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --json before.json
+    # ...apply the change...
+    PYTHONPATH=src python benchmarks/bench_engine.py --json after.json
+    python benchmarks/bench_compare.py before.json after.json
+
+Speedup is normalised so >1.0 always means "after is better", regardless
+of whether the metric is a rate (higher wins) or a duration (lower wins).
+Exits non-zero with ``--fail-below`` if any common benchmark regresses past
+the given factor, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as f:
+        payload = json.load(f)
+    # Accept both the wrapped form ({"benchmarks": {...}}) and a bare dict.
+    return payload.get("benchmarks", payload)
+
+
+def _speedup(before: dict, after: dict) -> float:
+    if before["value"] == 0 or after["value"] == 0:
+        return float("nan")
+    if after.get("higher_is_better", True):
+        return after["value"] / before["value"]
+    return before["value"] / after["value"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="compare two bench JSON files")
+    parser.add_argument("before", help="baseline JSON from bench_engine.py --json")
+    parser.add_argument("after", help="candidate JSON from bench_engine.py --json")
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        metavar="FACTOR",
+        help="exit 1 if any common benchmark's speedup is below FACTOR",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        before, after = _load(args.before), _load(args.after)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    common = [name for name in before if name in after]
+    if not common:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    name_w = max(len(n) for n in common)
+    header = f"{'benchmark':<{name_w}}  {'before':>14}  {'after':>14}  {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    worst = float("inf")
+    for name in common:
+        b, a = before[name], after[name]
+        factor = _speedup(b, a)
+        worst = min(worst, factor)
+        unit = a.get("unit", "")
+        print(
+            f"{name:<{name_w}}  {b['value']:>14,.1f}  {a['value']:>14,.1f}  "
+            f"{factor:>7.2f}x  {unit}"
+        )
+
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    if only_before:
+        print(f"only in {args.before}: {', '.join(only_before)}")
+    if only_after:
+        print(f"only in {args.after}: {', '.join(only_after)}")
+
+    if args.fail_below is not None and worst < args.fail_below:
+        print(
+            f"FAIL: worst speedup {worst:.2f}x is below {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,18 @@ The paper reports each data point as the average of 10 independent runs
 (different random sender/receiver attachments, failed link, and timer
 jitter).  :func:`run_point` does exactly that for one (protocol, degree)
 pair; :func:`run_sweep` covers a whole figure.
+
+Parallel topology: the whole (protocol x degree x seed) grid is flattened
+into one task list and submitted to a single shared
+``ProcessPoolExecutor`` — workers stay warm across the entire sweep instead
+of being forked and torn down per data point.  A seed that crashes inside a
+worker is captured as a :class:`SweepFailure` on its point (with the failing
+seed in the message) rather than killing the sweep.
 """
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -15,11 +23,27 @@ from ..metrics.timeseries import BinnedSeries, average_series
 from .config import ExperimentConfig
 from .scenario import ScenarioResult, run_scenario
 
-__all__ = ["PointResult", "run_point", "run_sweep"]
+__all__ = ["PointResult", "SweepFailure", "run_point", "run_sweep"]
 
 
 def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """One seed that raised instead of producing a ScenarioResult."""
+
+    protocol: str
+    degree: int
+    seed: int
+    error: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.protocol} degree={self.degree} seed={self.seed} "
+            f"failed: {self.error}"
+        )
 
 
 @dataclass
@@ -29,6 +53,8 @@ class PointResult:
     protocol: str
     degree: int
     runs: list[ScenarioResult] = field(default_factory=list)
+    #: Seeds that crashed (sweeps keep going; see :class:`SweepFailure`).
+    failures: list[SweepFailure] = field(default_factory=list)
 
     @property
     def n_runs(self) -> int:
@@ -79,6 +105,28 @@ class PointResult:
         return average_series([r.delay for r in self.runs if r.delay])
 
 
+def _run_task(
+    protocol: str, degree: int, seed: int, config: ExperimentConfig
+):
+    """Pool worker: run one seed, returning the result or a SweepFailure.
+
+    Exceptions are converted to data (not re-raised) so one bad seed cannot
+    tear down the shared pool or lose the identity of the seed that died.
+    """
+    try:
+        return run_scenario(protocol, degree, seed, config)
+    except Exception as exc:  # noqa: BLE001 - must survive arbitrary seed crashes
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        return SweepFailure(protocol=protocol, degree=degree, seed=seed, error=detail)
+
+
+def _run_task_tuple(task: tuple[str, int, int, ExperimentConfig]):
+    """map()-friendly wrapper around :func:`_run_task`."""
+    return _run_task(*task)
+
+
 def run_point(
     protocol: str,
     degree: int,
@@ -89,22 +137,33 @@ def run_point(
 
     ``workers > 1`` fans the seeds out over a process pool — each simulation
     is single-threaded and independent, so sweeps parallelize perfectly.
+    A worker that raises is re-raised here with the failing seed named.
     """
     config = config or ExperimentConfig.quick()
     point = PointResult(protocol=protocol, degree=degree)
     seeds = [config.seed + i for i in range(config.runs)]
     if workers <= 1 or config.runs == 1:
         for seed in seeds:
-            point.runs.append(run_scenario(protocol, degree, seed, config))
+            try:
+                point.runs.append(run_scenario(protocol, degree, seed, config))
+            except Exception as exc:
+                raise RuntimeError(
+                    f"run_point({protocol!r}, degree={degree}) seed {seed} "
+                    f"failed: {exc}"
+                ) from exc
         return point
     import concurrent.futures
 
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(run_scenario, protocol, degree, seed, config)
+            pool.submit(_run_task, protocol, degree, seed, config)
             for seed in seeds
         ]
-        point.runs.extend(f.result() for f in futures)
+        for seed, future in zip(seeds, futures):
+            outcome = future.result()
+            if isinstance(outcome, SweepFailure):
+                raise RuntimeError(str(outcome))
+            point.runs.append(outcome)
     return point
 
 
@@ -112,12 +171,52 @@ def run_sweep(
     config: Optional[ExperimentConfig] = None,
     workers: int = 1,
 ) -> dict[tuple[str, int], PointResult]:
-    """Full (protocol x degree) sweep; keys are (protocol, degree)."""
+    """Full (protocol x degree) sweep; keys are (protocol, degree).
+
+    The entire (protocol x degree x seed) grid is flattened and executed
+    against one shared process pool (``workers > 1``), so pool startup is
+    paid once per sweep, not once per point, and stragglers from one point
+    overlap with the next point's seeds.  Crashed seeds are recorded on
+    their point's ``failures`` list instead of aborting the sweep; results
+    are collected in deterministic grid order either way.
+    """
     config = config or ExperimentConfig.quick()
-    results: dict[tuple[str, int], PointResult] = {}
-    for protocol in config.protocols:
-        for degree in config.degrees:
-            results[(protocol, degree)] = run_point(
-                protocol, degree, config, workers=workers
-            )
+    seeds = [config.seed + i for i in range(config.runs)]
+    results: dict[tuple[str, int], PointResult] = {
+        (protocol, degree): PointResult(protocol=protocol, degree=degree)
+        for protocol in config.protocols
+        for degree in config.degrees
+    }
+    grid = [
+        (protocol, degree, seed)
+        for protocol in config.protocols
+        for degree in config.degrees
+        for seed in seeds
+    ]
+    if workers <= 1 or len(grid) == 1:
+        for protocol, degree, seed in grid:
+            outcome = _run_task(protocol, degree, seed, config)
+            point = results[(protocol, degree)]
+            if isinstance(outcome, SweepFailure):
+                point.failures.append(outcome)
+            else:
+                point.runs.append(outcome)
+        return results
+    import concurrent.futures
+
+    # Chunked map keeps per-task IPC low; results come back in grid order,
+    # so aggregation is deterministic and identical to the serial path.
+    chunksize = max(1, len(grid) // (workers * 4))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        outcomes = pool.map(
+            _run_task_tuple,
+            [(protocol, degree, seed, config) for protocol, degree, seed in grid],
+            chunksize=chunksize,
+        )
+        for (protocol, degree, _seed), outcome in zip(grid, outcomes):
+            point = results[(protocol, degree)]
+            if isinstance(outcome, SweepFailure):
+                point.failures.append(outcome)
+            else:
+                point.runs.append(outcome)
     return results

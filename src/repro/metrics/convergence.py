@@ -78,7 +78,7 @@ class NetworkConvergenceWatcher:
     def __init__(self, bus: TraceBus) -> None:
         self.last_change_time: Optional[float] = None
         self.change_count = 0
-        bus.subscribe(RouteChangeRecord, self._on_route_change)
+        bus.subscribe("route", self._on_route_change)
 
     def _on_route_change(self, record: RouteChangeRecord) -> None:
         self.last_change_time = record.time
@@ -100,7 +100,7 @@ class ConvergenceTracker:
         self._fib_view: dict[int, Optional[int]] = {}
         self.route_change_times: list[float] = []
         self.snapshots: list[PathSnapshot] = []
-        bus.subscribe(RouteChangeRecord, self._on_route_change)
+        bus.subscribe("route", self._on_route_change)
 
     def seed_from_network(self, network: Network) -> None:
         """Capture the current FIBs (call after warm start, before failure)."""

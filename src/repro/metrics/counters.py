@@ -22,7 +22,7 @@ class DropCounter:
         self.window_start = window_start
         self.by_cause: dict[DropCause, int] = {cause: 0 for cause in DropCause}
         self.drop_times: dict[DropCause, list[float]] = {cause: [] for cause in DropCause}
-        bus.subscribe(PacketRecord, self._on_packet)
+        bus.subscribe("packet", self._on_packet)
 
     def _on_packet(self, record: PacketRecord) -> None:
         if record.kind != "drop" or record.cause is None:
@@ -61,7 +61,7 @@ class MessageCounter:
         self.messages = 0
         self.routes = 0
         self.withdrawals = 0
-        bus.subscribe(MessageRecord, self._on_message)
+        bus.subscribe("message", self._on_message)
 
     def _on_message(self, record: MessageRecord) -> None:
         if self.window_start is not None and record.time < self.window_start:

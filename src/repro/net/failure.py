@@ -89,10 +89,13 @@ class FailureInjector:
     def _fire(self, event: FailureEvent) -> None:
         link = self._network.link(event.a, event.b)
         link.fail()
-        self._network.bus.publish(
-            LinkEventRecord(time=self._sim.now, node_a=event.a, node_b=event.b, up=False)
-        )
-        self._sim.schedule(self.detection_delay, lambda: self._detected(event))
+        bus = self._network.bus
+        bus.counters.link_events += 1
+        if bus.wants_link:
+            bus.publish(
+                LinkEventRecord(time=self._sim.now, node_a=event.a, node_b=event.b, up=False)
+            )
+        self._sim.schedule_call(self.detection_delay, self._detected, event)
 
     def _detected(self, event: FailureEvent) -> None:
         self._network.node(event.a).on_link_down(event.b)
@@ -101,9 +104,12 @@ class FailureInjector:
     def _restore(self, a: int, b: int, at: float) -> None:
         link = self._network.link(a, b)
         link.restore()
-        self._network.bus.publish(
-            LinkEventRecord(time=self._sim.now, node_a=a, node_b=b, up=True)
-        )
+        bus = self._network.bus
+        bus.counters.link_events += 1
+        if bus.wants_link:
+            bus.publish(
+                LinkEventRecord(time=self._sim.now, node_a=a, node_b=b, up=True)
+            )
         for event in self.events:
             if event.link_key == (min(a, b), max(a, b)) and event.restored_time is None:
                 event.restored_time = at

@@ -11,6 +11,11 @@ any later transmit attempt is dropped the same way until the link is
 restored.  Failure *detection* is separate — the endpoints learn about the
 failure only after the injector's detection delay (see
 :mod:`repro.net.failure`).
+
+Hot-path notes: serialization and propagation events are scheduled through
+``Simulator.schedule_call`` (no per-packet lambda allocation), the per-link
+bandwidth/propagation figures are cached on the channel, and in-flight
+packets are tracked in a dict keyed by packet identity for O(1) arrival.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim.engine import EventHandle, Simulator
 from ..sim.tracing import DropCause
-from ..sim.units import transmission_delay
+from ..sim.units import BITS_PER_BYTE
 from ..topology.graph import LinkSpec
 from .packet import Packet
 from .queues import DropTailQueue
@@ -39,6 +44,20 @@ Dropper = Callable[[Packet, int, DropCause], None]
 class _Channel:
     """One direction of a link."""
 
+    __slots__ = (
+        "_sim",
+        "_link",
+        "src",
+        "dst",
+        "queue",
+        "control_queue",
+        "_busy",
+        "_in_flight",
+        "_bandwidth",
+        "_prop_delay",
+        "transmitted",
+    )
+
     def __init__(self, sim: Simulator, link: "Link", src: int, dst: int) -> None:
         self._sim = sim
         self._link = link
@@ -51,7 +70,9 @@ class _Channel:
             DropTailQueue(link.queue_capacity) if link.priority_control else None
         )
         self._busy = False
-        self._in_flight: list[tuple[EventHandle, Packet]] = []
+        self._in_flight: dict[int, tuple[EventHandle, Packet]] = {}
+        self._bandwidth = link.spec.bandwidth
+        self._prop_delay = link.spec.delay
         self.transmitted = 0
 
     def send(self, packet: Packet) -> None:
@@ -79,8 +100,8 @@ class _Channel:
             self._busy = False
             return
         self._busy = True
-        tx = transmission_delay(packet.size_bytes, self._link.spec.bandwidth)
-        self._sim.schedule(tx, lambda p=packet: self._serialized(p))
+        tx = (packet.size_bytes * BITS_PER_BYTE) / self._bandwidth
+        self._sim.schedule_call(tx, self._serialized, packet)
 
     def _serialized(self, packet: Packet) -> None:
         # Serialization finished; packet enters propagation.  The transmitter
@@ -89,20 +110,18 @@ class _Channel:
             self._link._drop(packet, self.src, DropCause.LINK_DOWN)
             self._busy = False
             return
-        handle = self._sim.schedule(
-            self._link.spec.delay, lambda p=packet: self._arrive(p)
-        )
-        self._in_flight.append((handle, packet))
+        handle = self._sim.schedule_call(self._prop_delay, self._arrive, packet)
+        self._in_flight[id(packet)] = (handle, packet)
         self.transmitted += 1
         self._start_next()
 
     def _arrive(self, packet: Packet) -> None:
-        self._in_flight = [(h, p) for h, p in self._in_flight if p is not packet]
+        del self._in_flight[id(packet)]
         self._link._deliver(self.dst, packet, self.src)
 
     def flush_on_failure(self) -> None:
         """Drop everything queued or propagating (link just failed)."""
-        for handle, packet in self._in_flight:
+        for handle, packet in self._in_flight.values():
             handle.cancel()
             self._link._drop(packet, self.src, DropCause.LINK_DOWN)
         self._in_flight.clear()
@@ -116,6 +135,19 @@ class _Channel:
 
 class Link:
     """Duplex link between two live nodes."""
+
+    __slots__ = (
+        "_sim",
+        "spec",
+        "queue_capacity",
+        "priority_control",
+        "up",
+        "_deliver_cb",
+        "_dropper",
+        "_channels",
+        "failed_at",
+        "fail_listeners",
+    )
 
     def __init__(
         self,
@@ -151,6 +183,19 @@ class Link:
         if node == b:
             return a
         raise ValueError(f"node {node} is not an endpoint of link {self.endpoints}")
+
+    def sender_from(self, node: int) -> Callable[[Packet], None]:
+        """Bound ``channel.send`` for the direction leaving ``node``.
+
+        Nodes cache this in their per-neighbor dispatch table so the per-packet
+        transmit path is one dict lookup + one call, with no Link indirection.
+        """
+        channel = self._channels.get(node)
+        if channel is None:
+            raise ValueError(
+                f"node {node} is not an endpoint of link {self.endpoints}"
+            )
+        return channel.send
 
     def transmit(self, from_node: int, packet: Packet) -> None:
         """Send ``packet`` from ``from_node`` toward the other endpoint."""

@@ -11,11 +11,18 @@ Drop accounting:
 * ``NO_ROUTE``     — FIB miss (the router is inside its path switch-over period)
 * ``TTL_EXPIRED``  — TTL hit zero (transient forwarding loop)
 * ``QUEUE_OVERFLOW`` / ``LINK_DOWN`` — charged by the link machinery
+
+Hot-path notes: every deliver/forward/drop bumps the bus's always-on integer
+counters, but full :class:`~repro.sim.tracing.PacketRecord` objects are only
+constructed when the bus's ``wants_packet`` guard says someone is listening.
+Transmission goes through a precomputed per-neighbor dispatch table
+(``neighbor id -> channel.send``) so the FIB lookup resolves straight to the
+outgoing channel without re-walking Link internals per packet.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional, Protocol as TypingProtocol
+from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol as TypingProtocol
 
 from ..sim.engine import Simulator
 from ..sim.tracing import DropCause, PacketRecord, RouteChangeRecord, TraceBus
@@ -37,6 +44,23 @@ class PacketApp(TypingProtocol):
 class Node:
     """One router (or stub host) in the simulated network."""
 
+    __slots__ = (
+        "sim",
+        "id",
+        "bus",
+        "record_paths",
+        "record_forwards",
+        "links",
+        "fib",
+        "protocol",
+        "apps",
+        "delivered",
+        "originated",
+        "forwarded",
+        "drops",
+        "_tx",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -51,6 +75,8 @@ class Node:
         self.record_paths = record_paths
         self.record_forwards = record_forwards
         self.links: dict[int, Link] = {}
+        #: Dispatch table: neighbor id -> that link's channel.send for this end.
+        self._tx: dict[int, Callable[[Packet], None]] = {}
         self.fib: dict[int, Optional[int]] = {}
         self.protocol: Optional["RoutingProtocol"] = None
         self.apps: list[PacketApp] = []
@@ -66,6 +92,7 @@ class Node:
         if neighbor in self.links:
             raise ValueError(f"node {self.id} already linked to {neighbor}")
         self.links[neighbor] = link
+        self._tx[neighbor] = link.sender_from(self.id)
 
     def neighbors(self) -> list[int]:
         """Directly connected neighbor ids, sorted for determinism."""
@@ -105,15 +132,18 @@ class Node:
                     f"node {self.id}: next hop {next_hop} is not a neighbor"
                 )
             self.fib[dest] = next_hop
-        self.bus.publish(
-            RouteChangeRecord(
-                time=self.sim.now,
-                node=self.id,
-                dest=dest,
-                old_next_hop=old,
-                new_next_hop=next_hop,
+        bus = self.bus
+        bus.counters.route_changes += 1
+        if bus.wants_route:
+            bus.publish(
+                RouteChangeRecord(
+                    time=self.sim.now,
+                    node=self.id,
+                    dest=dest,
+                    old_next_hop=old,
+                    new_next_hop=next_hop,
+                )
             )
-        )
 
     # ------------------------------------------------------------- data plane
 
@@ -125,16 +155,19 @@ class Node:
         self.originated += 1
         if self.record_paths:
             packet.hops.append(self.id)
-        self.bus.publish(
-            PacketRecord(
-                time=self.sim.now,
-                kind="send",
-                packet_id=packet.packet_id,
-                node=self.id,
-                flow_id=packet.flow_id,
-                ttl=packet.ttl,
+        bus = self.bus
+        bus.counters.sends += 1
+        if bus.wants_packet:
+            bus.publish(
+                PacketRecord(
+                    time=self.sim.now,
+                    kind="send",
+                    packet_id=packet.packet_id,
+                    node=self.id,
+                    flow_id=packet.flow_id,
+                    ttl=packet.ttl,
+                )
             )
-        )
         if packet.dst == self.id:
             self._deliver_local(packet)
             return
@@ -158,8 +191,10 @@ class Node:
             return
         if self.record_paths:
             packet.hops.append(self.id)
-        if self.record_forwards:
-            self.bus.publish(
+        bus = self.bus
+        bus.counters.forwards += 1
+        if self.record_forwards and bus.wants_packet:
+            bus.publish(
                 PacketRecord(
                     time=self.sim.now,
                     kind="forward",
@@ -177,26 +212,29 @@ class Node:
         if nh is None:
             self.drop(packet, DropCause.NO_ROUTE)
             return
-        link = self.links.get(nh)
-        if link is None:
+        send = self._tx.get(nh)
+        if send is None:
             self.drop(packet, DropCause.NO_ROUTE)
             return
-        link.transmit(self.id, packet)
+        send(packet)
 
     def _deliver_local(self, packet: Packet) -> None:
         self.delivered += 1
         if self.record_paths:
             packet.hops.append(self.id)
-        self.bus.publish(
-            PacketRecord(
-                time=self.sim.now,
-                kind="deliver",
-                packet_id=packet.packet_id,
-                node=self.id,
-                flow_id=packet.flow_id,
-                ttl=packet.ttl,
+        bus = self.bus
+        bus.counters.delivers += 1
+        if bus.wants_packet:
+            bus.publish(
+                PacketRecord(
+                    time=self.sim.now,
+                    kind="deliver",
+                    packet_id=packet.packet_id,
+                    node=self.id,
+                    flow_id=packet.flow_id,
+                    ttl=packet.ttl,
+                )
             )
-        )
         for app in self.apps:
             app.on_packet(packet, self)
 
@@ -204,24 +242,27 @@ class Node:
         """Account a packet death at this node."""
         if packet.is_data:
             self.drops[cause] += 1
-            self.bus.publish(
-                PacketRecord(
-                    time=self.sim.now,
-                    kind="drop",
-                    packet_id=packet.packet_id,
-                    node=self.id,
-                    flow_id=packet.flow_id,
-                    ttl=packet.ttl,
-                    cause=cause,
+            bus = self.bus
+            bus.counters.drops += 1
+            if bus.wants_packet:
+                bus.publish(
+                    PacketRecord(
+                        time=self.sim.now,
+                        kind="drop",
+                        packet_id=packet.packet_id,
+                        node=self.id,
+                        flow_id=packet.flow_id,
+                        ttl=packet.ttl,
+                        cause=cause,
+                    )
                 )
-            )
 
     # ---------------------------------------------------------- control plane
 
     def send_control(self, neighbor: int, payload: Any, size_bytes: int, protocol: str) -> None:
         """Send a routing-protocol message to a directly connected neighbor."""
-        link = self.links.get(neighbor)
-        if link is None:
+        send = self._tx.get(neighbor)
+        if send is None:
             raise ValueError(f"node {self.id}: {neighbor} is not a neighbor")
         packet = Packet(
             src=self.id,
@@ -234,7 +275,7 @@ class Node:
             protocol=protocol,
             send_time=self.sim.now,
         )
-        link.transmit(self.id, packet)
+        send(packet)
 
     def on_link_down(self, neighbor: int) -> None:
         """Failure detection fired for the link to ``neighbor``."""

@@ -84,13 +84,16 @@ class RoutingProtocol(abc.ABC):
         """Account one sent message for overhead metrics."""
         self.messages_sent += 1
         self.routes_sent += n_routes
-        self.node.bus.publish(
-            MessageRecord(
-                time=self.sim.now,
-                sender=self.node.id,
-                receiver=neighbor,
-                protocol=self.name,
-                n_routes=n_routes,
-                is_withdrawal=is_withdrawal,
+        bus = self.node.bus
+        bus.counters.messages += 1
+        if bus.wants_message:
+            bus.publish(
+                MessageRecord(
+                    time=self.sim.now,
+                    sender=self.node.id,
+                    receiver=neighbor,
+                    protocol=self.name,
+                    n_routes=n_routes,
+                    is_withdrawal=is_withdrawal,
+                )
             )
-        )

@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate (engine, timers, RNG, tracing)."""
 
-from .engine import EventHandle, SimulationError, Simulator
+from .engine import EventHandle, EventStats, SimulationError, Simulator
 from .rng import RngStreams
 from .timers import JitteredInterval, OneShotTimer, PeriodicTimer
 from .tracing import (
@@ -10,12 +10,14 @@ from .tracing import (
     PacketRecord,
     RouteChangeRecord,
     TraceBus,
+    TraceCounters,
 )
 from . import units
 
 __all__ = [
     "Simulator",
     "EventHandle",
+    "EventStats",
     "SimulationError",
     "RngStreams",
     "JitteredInterval",
@@ -27,5 +29,6 @@ __all__ = [
     "LinkEventRecord",
     "MessageRecord",
     "TraceBus",
+    "TraceCounters",
     "units",
 ]

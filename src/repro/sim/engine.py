@@ -5,6 +5,14 @@ are callbacks scheduled at absolute or relative times; ties are broken by
 insertion order so execution is fully deterministic.  Cancellation is done
 lazily: :meth:`EventHandle.cancel` marks the entry and the main loop skips it.
 
+The queue stores plain ``(time, seq, handle)`` tuples so heap sifting
+compares tuples directly instead of going through dataclass ``__lt__``.
+Hot-path schedulers that would otherwise allocate a closure per event
+(link serialization/propagation) use :meth:`Simulator.schedule_call`, which
+stores the argument on the handle; batch producers use
+:meth:`Simulator.schedule_many`; repeating timers recycle their handle via
+:meth:`Simulator.reschedule`.
+
 This is the substrate every other package builds on (links schedule packet
 arrivals, protocols schedule timers, traffic sources schedule departures).
 """
@@ -13,31 +21,30 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+import time as _wallclock
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
-__all__ = ["Simulator", "EventHandle", "SimulationError"]
+__all__ = ["Simulator", "EventHandle", "EventStats", "SimulationError"]
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
     """Raised on invalid scheduler use (e.g. scheduling into the past)."""
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
-
-
 class EventHandle:
     """Cancelable reference to a scheduled event."""
 
-    __slots__ = ("time", "callback", "_cancelled", "_fired")
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self, time: float, callback: Callable[..., None], args: tuple = ()
+    ) -> None:
         self.time = time
         self.callback = callback
+        self.args = args
         self._cancelled = False
         self._fired = False
 
@@ -59,6 +66,29 @@ class EventHandle:
         return f"<EventHandle t={self.time:.6f} {state}>"
 
 
+@dataclass(frozen=True)
+class EventStats:
+    """Snapshot of scheduler health, taken via :meth:`Simulator.stats`."""
+
+    events_processed: int
+    cancelled_skipped: int
+    queue_depth_hwm: int
+    pending: int
+    wall_time: float
+    sim_time: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Executed events per wall-clock second spent inside ``run()``."""
+        return self.events_processed / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def cancel_ratio(self) -> float:
+        """Fraction of popped queue entries that were lazily-cancelled husks."""
+        popped = self.events_processed + self.cancelled_skipped
+        return self.cancelled_skipped / popped if popped else 0.0
+
+
 class Simulator:
     """Deterministic discrete-event scheduler.
 
@@ -69,11 +99,26 @@ class Simulator:
         sim.run()
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_events_processed",
+        "_cancel_skipped",
+        "_queue_hwm",
+        "_wall_time",
+        "_running",
+        "_stopped",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancel_skipped = 0
+        self._queue_hwm = 0
+        self._wall_time = 0.0
         self._running = False
         self._stopped = False
 
@@ -92,21 +137,122 @@ class Simulator:
         """Number of queue entries not yet popped (includes cancelled ones)."""
         return len(self._queue)
 
+    def stats(self) -> EventStats:
+        """Immutable snapshot of throughput/queue/cancellation counters."""
+        return EventStats(
+            events_processed=self._events_processed,
+            cancelled_skipped=self._cancel_skipped,
+            queue_depth_hwm=self._queue_hwm,
+            pending=len(self._queue),
+            wall_time=self._wall_time,
+            sim_time=self._now,
+        )
+
+    # ------------------------------------------------------------- scheduling
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        if not 0.0 <= delay < _INF:  # rejects negatives, NaN and +inf
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
+        time = self._now + delay
+        handle = EventHandle(time, callback)
+        queue = self._queue
+        heapq.heappush(queue, (time, next(self._seq), handle))
+        if len(queue) > self._queue_hwm:
+            self._queue_hwm = len(queue)
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual ``time``."""
-        if time < self._now:
+        if not self._now <= time < _INF:  # rejects the past, NaN and +inf
             raise SimulationError(
-                f"cannot schedule into the past (t={time} < now={self._now})"
+                f"time must be finite and >= now, got t={time!r} (now={self._now})"
             )
         handle = EventHandle(time, callback)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        queue = self._queue
+        heapq.heappush(queue, (time, next(self._seq), handle))
+        if len(queue) > self._queue_hwm:
+            self._queue_hwm = len(queue)
         return handle
+
+    def schedule_call(
+        self, delay: float, callback: Callable[..., None], *args
+    ) -> EventHandle:
+        """Fast path: schedule ``callback(*args)`` without a closure.
+
+        Equivalent to ``schedule(delay, lambda: callback(*args))`` but stores
+        the arguments on the handle, so per-packet hot paths (link
+        serialization, propagation) allocate no lambda cell objects.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
+        time = self._now + delay
+        handle = EventHandle(time, callback, args)
+        queue = self._queue
+        heapq.heappush(queue, (time, next(self._seq), handle))
+        if len(queue) > self._queue_hwm:
+            self._queue_hwm = len(queue)
+        return handle
+
+    def schedule_many(
+        self, events: Iterable[tuple[float, Callable[[], None]]]
+    ) -> list[EventHandle]:
+        """Schedule a batch of ``(delay, callback)`` pairs in one call.
+
+        Delays are relative to *now* (like :meth:`schedule`); insertion order
+        within the batch is preserved for same-time ties.  Returns the handles
+        in input order.
+        """
+        now = self._now
+        queue = self._queue
+        push = heapq.heappush
+        seq = self._seq
+        handles: list[EventHandle] = []
+        for delay, callback in events:
+            if not 0.0 <= delay < _INF:
+                raise SimulationError(
+                    f"delay must be finite and >= 0, got {delay!r}"
+                )
+            time = now + delay
+            handle = EventHandle(time, callback)
+            push(queue, (time, next(seq), handle))
+            handles.append(handle)
+        if len(queue) > self._queue_hwm:
+            self._queue_hwm = len(queue)
+        return handles
+
+    def reschedule(self, handle: EventHandle, delay: float) -> EventHandle:
+        """Re-arm an already-fired handle ``delay`` seconds from now.
+
+        Recycles the handle object instead of allocating a new one — the fast
+        path for repeating timers.  Only a handle whose queue entry has been
+        consumed (i.e. it fired) may be recycled; a pending or
+        lazily-cancelled handle still has a live queue entry, and re-arming it
+        would resurrect that entry.
+        """
+        if not handle._fired:
+            raise SimulationError(
+                "reschedule() requires a handle that has already fired"
+            )
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
+        time = self._now + delay
+        handle.time = time
+        handle._fired = False
+        handle._cancelled = False
+        queue = self._queue
+        heapq.heappush(queue, (time, next(self._seq), handle))
+        if len(queue) > self._queue_hwm:
+            self._queue_hwm = len(queue)
+        return handle
+
+    # -------------------------------------------------------------- execution
 
     def stop(self) -> None:
         """Stop a running :meth:`run` loop after the current event returns."""
@@ -114,9 +260,11 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is drained."""
-        while self._queue and self._queue[0].handle.cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)
+            self._cancel_skipped += 1
+        return queue[0][0] if queue else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events in order until the queue drains, ``until`` is reached,
@@ -132,23 +280,32 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        started = _wallclock.perf_counter()
         try:
-            while self._queue and not self._stopped:
-                entry = self._queue[0]
-                if entry.handle.cancelled:
-                    heapq.heappop(self._queue)
+            while queue and not self._stopped:
+                time, _, handle = queue[0]
+                if handle._cancelled:
+                    pop(queue)
+                    self._cancel_skipped += 1
                     continue
-                if until is not None and entry.time > until:
+                if until is not None and time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._queue)
-                self._now = entry.time
-                entry.handle._fired = True
-                entry.handle.callback()
+                pop(queue)
+                self._now = time
+                handle._fired = True
+                args = handle.args
+                if args:
+                    handle.callback(*args)
+                else:
+                    handle.callback()
                 executed += 1
                 self._events_processed += 1
         finally:
+            self._wall_time += _wallclock.perf_counter() - started
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until

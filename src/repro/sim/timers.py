@@ -4,6 +4,11 @@ Routing protocols are timer machines: RIP has periodic and timeout timers,
 RIP/DBF damp triggered updates with a random holddown, BGP rate-limits with
 per-neighbor MRAI timers.  These classes capture the three shapes used in the
 paper so protocol code stays declarative.
+
+All three classes are slotted and fire through pre-bound methods — no
+closures are rebuilt per cycle — and repeating/restartable timers recycle
+their :class:`~repro.sim.engine.EventHandle` via ``Simulator.reschedule``
+instead of allocating a fresh one every firing.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ class JitteredInterval:
     (U(1, 5) expressed as base 3, jitter 2) and BGP MRAI (U(25, 35) or
     U(2.5, 3.5) in the paper's two parameterizations).
     """
+
+    __slots__ = ("base", "jitter", "_rng")
 
     def __init__(self, base: float, jitter: float, rng: random.Random) -> None:
         if base <= 0:
@@ -55,6 +62,8 @@ class OneShotTimer:
     running, just mark more work pending" logic directly.
     """
 
+    __slots__ = ("_sim", "_action", "_handle")
+
     def __init__(self, sim: Simulator, action: Callable[[], None]) -> None:
         self._sim = sim
         self._action = action
@@ -71,6 +80,11 @@ class OneShotTimer:
 
     def start(self, delay: float) -> None:
         """(Re)arm to fire ``delay`` seconds from now, replacing any pending fire."""
+        handle = self._handle
+        if handle is not None and handle._fired and not handle._cancelled:
+            # The previous firing consumed the queue entry: recycle the handle.
+            self._sim.reschedule(handle, delay)
+            return
         self.cancel()
         self._handle = self._sim.schedule(delay, self._fire)
 
@@ -80,7 +94,6 @@ class OneShotTimer:
             self._handle = None
 
     def _fire(self) -> None:
-        self._handle = None
         self._action()
 
 
@@ -90,6 +103,8 @@ class PeriodicTimer:
     Each cycle's length is drawn independently from ``interval`` — this is how
     RFC 2453 spaces periodic updates to avoid synchronization between routers.
     """
+
+    __slots__ = ("_sim", "_interval", "_action", "_handle", "_running")
 
     def __init__(
         self,
@@ -124,5 +139,8 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if not self._running:
             return
-        self._handle = self._sim.schedule(self._interval.sample(), self._fire)
+        # The handle that invoked us just fired; re-arm it for the next cycle
+        # (same object, new heap entry) before running the action so the
+        # action can stop()/start() the timer without racing the cycle.
+        self._handle = self._sim.reschedule(self._handle, self._interval.sample())
         self._action()

@@ -5,13 +5,26 @@ routing trace files" to attribute every drop and loop to a cause.  We mirror
 that with typed records published on a :class:`TraceBus`.  Metric collectors
 subscribe to the kinds they care about; retention of full in-memory traces is
 opt-in so large sweeps stay cheap.
+
+Hot-path contract: producers (``Node``/``Link``/protocols) must bump the
+always-on integer :class:`TraceCounters` and consult the per-kind
+``wants_*`` guard *before* constructing a record::
+
+    bus.counters.delivers += 1
+    if bus.wants_packet:
+        bus.publish(PacketRecord(...))
+
+When nothing subscribed to a kind and retention for it is off, no record
+object is ever allocated — the whole trace layer costs one integer increment
+per event.  Collectors therefore MUST register through :meth:`TraceBus.subscribe`
+(which flips the guard) rather than wrapping ``publish``.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 __all__ = [
     "DropCause",
@@ -19,6 +32,7 @@ __all__ = [
     "RouteChangeRecord",
     "LinkEventRecord",
     "MessageRecord",
+    "TraceCounters",
     "TraceBus",
 ]
 
@@ -83,16 +97,84 @@ class MessageRecord:
     is_withdrawal: bool = False
 
 
-_Record = object
+#: The four trace kinds, in hot-path order.
+TRACE_KINDS = ("packet", "route", "link", "message")
+
+_KIND_OF_TYPE: dict[type, str] = {
+    PacketRecord: "packet",
+    RouteChangeRecord: "route",
+    LinkEventRecord: "link",
+    MessageRecord: "message",
+}
+
+
+class TraceCounters:
+    """Always-on integer event counters, bumped even when tracing is off.
+
+    These are the cheap aggregate view of the packet/routing activity a bus
+    would have seen: producers increment them unconditionally (one integer
+    add), independent of whether any record object was constructed.
+    """
+
+    __slots__ = (
+        "sends",
+        "forwards",
+        "delivers",
+        "drops",
+        "route_changes",
+        "link_events",
+        "messages",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.sends = 0
+        self.forwards = 0
+        self.delivers = 0
+        self.drops = 0
+        self.route_changes = 0
+        self.link_events = 0
+        self.messages = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"TraceCounters({body})"
 
 
 class TraceBus:
-    """Publish/subscribe hub for trace records.
+    """Publish/subscribe hub for trace records, organized per kind.
 
     ``keep_packets`` / ``keep_routes`` / ``keep_messages`` control whether the
     bus also retains full record lists for after-the-fact analysis (hop path
-    reconstruction, loop detection).  Subscribers always see every record.
+    reconstruction, loop detection).  Subscribers always see every record of
+    their kind.
+
+    The ``wants_packet`` / ``wants_route`` / ``wants_link`` / ``wants_message``
+    attributes are the hot-path guards: True iff some subscriber or retention
+    list would observe a record of that kind.  They are plain booleans (one
+    attribute load to check) recomputed on every subscribe/retention change.
     """
+
+    __slots__ = (
+        "_keep_packets",
+        "_keep_routes",
+        "_keep_messages",
+        "packets",
+        "route_changes",
+        "link_events",
+        "messages",
+        "_subs",
+        "wants_packet",
+        "wants_route",
+        "wants_link",
+        "wants_message",
+        "counters",
+    )
 
     def __init__(
         self,
@@ -100,37 +182,117 @@ class TraceBus:
         keep_routes: bool = True,
         keep_messages: bool = False,
     ) -> None:
-        self._subscribers: dict[type, list[Callable[[object], None]]] = {}
-        self.keep_packets = keep_packets
-        self.keep_routes = keep_routes
-        self.keep_messages = keep_messages
+        self._keep_packets = keep_packets
+        self._keep_routes = keep_routes
+        self._keep_messages = keep_messages
         self.packets: list[PacketRecord] = []
         self.route_changes: list[RouteChangeRecord] = []
         self.link_events: list[LinkEventRecord] = []
         self.messages: list[MessageRecord] = []
+        self._subs: dict[str, list[Callable[[object], None]]] = {
+            kind: [] for kind in TRACE_KINDS
+        }
+        self.counters = TraceCounters()
+        self._refresh_guards()
 
-    def subscribe(self, record_type: type, handler: Callable[[object], None]) -> None:
-        """Call ``handler(record)`` for every published record of ``record_type``."""
-        self._subscribers.setdefault(record_type, []).append(handler)
+    # ------------------------------------------------------- retention flags
+
+    @property
+    def keep_packets(self) -> bool:
+        return self._keep_packets
+
+    @keep_packets.setter
+    def keep_packets(self, value: bool) -> None:
+        self._keep_packets = value
+        self._refresh_guards()
+
+    @property
+    def keep_routes(self) -> bool:
+        return self._keep_routes
+
+    @keep_routes.setter
+    def keep_routes(self, value: bool) -> None:
+        self._keep_routes = value
+        self._refresh_guards()
+
+    @property
+    def keep_messages(self) -> bool:
+        return self._keep_messages
+
+    @keep_messages.setter
+    def keep_messages(self, value: bool) -> None:
+        self._keep_messages = value
+        self._refresh_guards()
+
+    def _refresh_guards(self) -> None:
+        subs = self._subs
+        self.wants_packet = bool(subs["packet"]) or self._keep_packets
+        self.wants_route = bool(subs["route"]) or self._keep_routes
+        # Link up/down transitions are rare and always retained.
+        self.wants_link = True
+        self.wants_message = bool(subs["message"]) or self._keep_messages
+
+    # ----------------------------------------------------------- subscribing
+
+    def wants(self, kind: str) -> bool:
+        """Would a record of ``kind`` reach any observer right now?
+
+        ``kind`` is one of ``"packet"``, ``"route"``, ``"link"``,
+        ``"message"``.  Producers may cache the equivalent ``wants_<kind>``
+        attribute lookup in hot loops; the value only changes on
+        subscribe/retention mutation.
+        """
+        if kind not in self._subs:
+            raise ValueError(f"unknown trace kind {kind!r}")
+        return getattr(self, f"wants_{kind}")
+
+    def subscribe(
+        self, kind: Union[str, type], handler: Callable[[object], None]
+    ) -> None:
+        """Call ``handler(record)`` for every published record of ``kind``.
+
+        ``kind`` is a kind string (``"packet"``, ``"route"``, ``"link"``,
+        ``"message"``) or, for backward compatibility, the record type itself.
+        """
+        if isinstance(kind, type):
+            try:
+                kind = _KIND_OF_TYPE[kind]
+            except KeyError:
+                raise ValueError(
+                    f"unknown trace record type {kind.__name__}"
+                ) from None
+        elif kind not in self._subs:
+            raise ValueError(f"unknown trace kind {kind!r}")
+        self._subs[kind].append(handler)
+        self._refresh_guards()
+
+    # ------------------------------------------------------------ publishing
 
     def publish(self, record: object) -> None:
-        """Dispatch a record to retention lists and subscribers."""
-        if isinstance(record, PacketRecord):
-            if self.keep_packets:
+        """Dispatch a record to its kind's retention list and subscribers."""
+        cls = type(record)
+        if cls is PacketRecord:
+            if self._keep_packets:
                 self.packets.append(record)
-        elif isinstance(record, RouteChangeRecord):
-            if self.keep_routes:
+            subscribers = self._subs["packet"]
+        elif cls is RouteChangeRecord:
+            if self._keep_routes:
                 self.route_changes.append(record)
-        elif isinstance(record, LinkEventRecord):
+            subscribers = self._subs["route"]
+        elif cls is LinkEventRecord:
             self.link_events.append(record)
-        elif isinstance(record, MessageRecord):
-            if self.keep_messages:
+            subscribers = self._subs["link"]
+        elif cls is MessageRecord:
+            if self._keep_messages:
                 self.messages.append(record)
-        for handler in self._subscribers.get(type(record), ()):
+            subscribers = self._subs["message"]
+        else:
+            return
+        for handler in subscribers:
             handler(record)
 
     def clear(self) -> None:
-        """Drop retained records (subscriptions are kept)."""
+        """Drop retained records (subscriptions and counters are kept)."""
         self.packets.clear()
         self.route_changes.clear()
         self.link_events.clear()

@@ -18,12 +18,16 @@ __all__ = ["CbrSource"]
 class CbrSource:
     """Originates one packet every ``1/rate`` seconds during [start, stop)."""
 
+    __slots__ = ("sim", "network", "spec", "sent", "_started", "_handle", "_src_node")
+
     def __init__(self, sim: Simulator, network: Network, spec: FlowSpec) -> None:
         self.sim = sim
         self.network = network
         self.spec = spec
         self.sent = 0
         self._started = False
+        self._handle = None
+        self._src_node = network.node(spec.src)
 
     def start(self) -> None:
         """Arm the first transmission (idempotent)."""
@@ -31,19 +35,21 @@ class CbrSource:
             return
         self._started = True
         delay = max(0.0, self.spec.start - self.sim.now)
-        self.sim.schedule(delay, self._emit)
+        self._handle = self.sim.schedule(delay, self._emit)
 
     def _emit(self) -> None:
         if self.sim.now >= self.spec.stop:
             return
+        spec = self.spec
         packet = Packet(
-            src=self.spec.src,
-            dst=self.spec.dst,
+            src=spec.src,
+            dst=spec.dst,
             kind="data",
-            ttl=self.spec.ttl,
-            size_bytes=self.spec.packet_bytes,
-            flow_id=self.spec.flow_id,
+            ttl=spec.ttl,
+            size_bytes=spec.packet_bytes,
+            flow_id=spec.flow_id,
         )
-        self.network.node(self.spec.src).originate(packet)
+        self._src_node.originate(packet)
         self.sent += 1
-        self.sim.schedule(self.spec.interval, self._emit)
+        # Recycle the emit handle instead of allocating one per packet.
+        self._handle = self.sim.reschedule(self._handle, spec.interval)

@@ -1,0 +1,66 @@
+"""Failure capture in the sweep driver.
+
+A seed that crashes inside a worker must come back as a SweepFailure naming
+the seed — not tear down the pool, not vanish, and (for run_point) not lose
+which seed died.  The crash vector: degree 9 passes config validation but
+``regular_mesh`` rejects it inside ``run_scenario``, in-process and in
+workers alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SweepFailure, run_point, run_sweep
+
+TINY = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=2, post_fail_window=10.0, protocols=("dbf",)
+)
+BAD_DEGREE = 9  # regular_mesh only supports [3, 8]
+
+
+class TestSweepFailureCapture:
+    def test_serial_sweep_records_failures_and_continues(self):
+        cfg = TINY.with_(degrees=(4, BAD_DEGREE))
+        results = run_sweep(cfg)
+        good = results[("dbf", 4)]
+        assert good.n_runs == 2 and not good.failures
+        bad = results[("dbf", BAD_DEGREE)]
+        assert bad.n_runs == 0
+        assert len(bad.failures) == 2
+        assert [f.seed for f in bad.failures] == [cfg.seed, cfg.seed + 1]
+
+    def test_parallel_sweep_records_failures_and_continues(self):
+        cfg = TINY.with_(degrees=(4, BAD_DEGREE), runs=1)
+        results = run_sweep(cfg, workers=2)
+        assert results[("dbf", 4)].n_runs == 1
+        bad = results[("dbf", BAD_DEGREE)]
+        assert bad.n_runs == 0
+        assert len(bad.failures) == 1
+        assert bad.failures[0].seed == cfg.seed
+
+    def test_failure_message_names_the_seed_and_cause(self):
+        cfg = TINY.with_(degrees=(BAD_DEGREE,), runs=1)
+        failure = run_sweep(cfg)[("dbf", BAD_DEGREE)].failures[0]
+        assert isinstance(failure, SweepFailure)
+        assert f"seed={cfg.seed}" in str(failure)
+        assert "degree" in failure.error
+
+    def test_serial_and_parallel_capture_identical_failures(self):
+        cfg = TINY.with_(degrees=(BAD_DEGREE,), runs=2)
+        serial = run_sweep(cfg)[("dbf", BAD_DEGREE)].failures
+        parallel = run_sweep(cfg, workers=2)[("dbf", BAD_DEGREE)].failures
+        assert serial == parallel
+
+
+class TestRunPointErrors:
+    def test_serial_error_names_the_seed(self):
+        cfg = TINY.with_(runs=1)
+        with pytest.raises(RuntimeError, match=rf"seed {cfg.seed} "):
+            run_point("dbf", BAD_DEGREE, cfg)
+
+    def test_parallel_error_names_the_seed(self):
+        cfg = TINY.with_(runs=2)
+        with pytest.raises(RuntimeError, match=rf"seed={cfg.seed}"):
+            run_point("dbf", BAD_DEGREE, cfg, workers=2)

@@ -1,0 +1,175 @@
+"""Guard-contract tests for the per-kind TraceBus hot path.
+
+The load-bearing regression here: with no subscribers and retention off,
+pushing traffic through a live network must perform *zero* ``publish``
+calls — producers check the ``wants_*`` guard before constructing a record,
+so publishes are a proxy for record allocations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.tracing import (
+    TRACE_KINDS,
+    LinkEventRecord,
+    MessageRecord,
+    PacketRecord,
+    RouteChangeRecord,
+    TraceBus,
+    TraceCounters,
+)
+from repro.topology import generators
+
+
+class CountingBus(TraceBus):
+    """TraceBus that counts every publish call (i.e. record construction)."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.publish_count = 0
+
+    def publish(self, record: object) -> None:
+        self.publish_count += 1
+        super().publish(record)
+
+
+def _push_traffic(bus: TraceBus, n_packets: int = 20) -> Simulator:
+    """Line network, FIBs set by hand, CBR-ish burst end to end."""
+    sim = Simulator()
+    net = Network(sim, generators.line(4), bus)
+    for node in net.iter_nodes():
+        if node.id < 3:
+            node.set_next_hop(3, node.id + 1)
+    for i in range(n_packets):
+        sim.schedule_at(
+            i * 0.01, lambda: net.node(0).originate(Packet(src=0, dst=3))
+        )
+    sim.run()
+    assert net.node(3).delivered == n_packets
+    return sim
+
+
+class TestZeroAllocationFastPath:
+    def test_untraced_run_never_publishes(self):
+        bus = CountingBus(
+            keep_packets=False, keep_routes=False, keep_messages=False
+        )
+        _push_traffic(bus)
+        assert bus.publish_count == 0
+
+    def test_untraced_run_still_counts(self):
+        bus = CountingBus(
+            keep_packets=False, keep_routes=False, keep_messages=False
+        )
+        _push_traffic(bus, n_packets=20)
+        assert bus.counters.sends == 20
+        assert bus.counters.delivers == 20
+        assert bus.counters.forwards == 20 * 2  # two relay hops on the line
+        assert bus.counters.route_changes == 3  # the hand-set FIB entries
+        assert bus.counters.drops == 0
+
+    def test_subscriber_turns_the_records_back_on(self):
+        bus = CountingBus(
+            keep_packets=False, keep_routes=False, keep_messages=False
+        )
+        seen = []
+        bus.subscribe("packet", seen.append)
+        _push_traffic(bus, n_packets=5)
+        assert bus.publish_count > 0
+        assert len(seen) == bus.publish_count
+        assert all(isinstance(r, PacketRecord) for r in seen)
+
+    def test_retention_alone_turns_the_records_back_on(self):
+        bus = CountingBus(
+            keep_packets=True, keep_routes=False, keep_messages=False
+        )
+        _push_traffic(bus, n_packets=5)
+        assert bus.publish_count == len(bus.packets) > 0
+
+
+class TestWantsGuards:
+    def test_quiet_bus_wants_nothing_but_link(self):
+        bus = TraceBus(keep_packets=False, keep_routes=False, keep_messages=False)
+        assert not bus.wants_packet
+        assert not bus.wants_route
+        assert not bus.wants_message
+        assert bus.wants_link  # link transitions are rare and always kept
+
+    def test_wants_tracks_retention_flags(self):
+        bus = TraceBus(keep_packets=False, keep_routes=False, keep_messages=False)
+        bus.keep_packets = True
+        assert bus.wants_packet and bus.wants("packet")
+        bus.keep_packets = False
+        assert not bus.wants_packet
+
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_wants_tracks_subscriptions(self, kind):
+        bus = TraceBus(keep_packets=False, keep_routes=False, keep_messages=False)
+        bus.subscribe(kind, lambda record: None)
+        assert bus.wants(kind)
+
+    def test_wants_rejects_unknown_kind(self):
+        bus = TraceBus()
+        with pytest.raises(ValueError):
+            bus.wants("quic")
+
+    def test_subscribe_rejects_unknown_kind(self):
+        bus = TraceBus()
+        with pytest.raises(ValueError):
+            bus.subscribe("quic", lambda record: None)
+
+    def test_subscribe_by_record_type_still_works(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe(RouteChangeRecord, seen.append)
+        record = RouteChangeRecord(
+            time=1.0, node=0, dest=3, old_next_hop=None, new_next_hop=1
+        )
+        bus.publish(record)
+        assert seen == [record]
+
+    def test_publish_routes_each_kind_to_its_subscribers(self):
+        bus = TraceBus(keep_packets=False, keep_routes=False, keep_messages=False)
+        by_kind = {kind: [] for kind in TRACE_KINDS}
+        for kind in TRACE_KINDS:
+            bus.subscribe(kind, by_kind[kind].append)
+        bus.publish(PacketRecord(time=0.0, kind="send", packet_id=1, node=0, flow_id=0, ttl=64))
+        bus.publish(LinkEventRecord(time=0.0, node_a=0, node_b=1, up=False))
+        bus.publish(MessageRecord(time=0.0, sender=0, receiver=1, protocol="rip", n_routes=1))
+        assert [len(by_kind[k]) for k in TRACE_KINDS] == [1, 0, 1, 1]
+
+
+class TestTraceCounters:
+    def test_reset_zeroes_everything(self):
+        counters = TraceCounters()
+        counters.sends = 5
+        counters.drops = 2
+        counters.reset()
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_as_dict_names_every_counter(self):
+        assert set(TraceCounters().as_dict()) == {
+            "sends",
+            "forwards",
+            "delivers",
+            "drops",
+            "route_changes",
+            "link_events",
+            "messages",
+        }
+
+    def test_clear_keeps_counters_and_subscriptions(self):
+        bus = TraceBus(keep_packets=True)
+        seen = []
+        bus.subscribe("packet", seen.append)
+        bus.counters.sends = 3
+        bus.publish(PacketRecord(time=0.0, kind="send", packet_id=1, node=0, flow_id=0, ttl=64))
+        bus.clear()
+        assert bus.packets == []
+        assert bus.counters.sends == 3
+        bus.publish(PacketRecord(time=0.0, kind="send", packet_id=2, node=0, flow_id=0, ttl=64))
+        assert len(seen) == 2
