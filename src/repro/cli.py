@@ -7,6 +7,7 @@ Exposes the experiment harness without writing Python::
     python -m repro figure 5 --degrees 3 4 6  # throughput series
     python -m repro sweep --protocols rip dbf --degrees 3 4 5 6
     python -m repro topology --degree 5       # inspect a mesh
+    python -m repro validate --seeds 25       # fuzzer + differential oracle
 
 Use ``--paper-scale`` for the full 10-seed configuration; the default is the
 reduced quick profile.
@@ -68,6 +69,31 @@ def build_parser() -> argparse.ArgumentParser:
     repro_p.add_argument("--out", default="reproduction")
     repro_p.add_argument("--runs", type=int)
     repro_p.add_argument("--degrees", type=int, nargs="+")
+
+    val_p = sub.add_parser(
+        "validate",
+        help="run the scenario fuzzer and differential oracle (CI smoke)",
+    )
+    val_p.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of fuzz cases to generate (default 25)",
+    )
+    val_p.add_argument(
+        "--master-seed", type=int, default=1,
+        help="fuzz stream seed; every case derives from (master, index)",
+    )
+    val_p.add_argument(
+        "--degrees", type=int, nargs="+", default=[3, 4, 5],
+        help="degrees for the differential oracle (default 3 4 5)",
+    )
+    val_p.add_argument(
+        "--oracle-seeds", type=int, default=2,
+        help="scenario seeds per degree for the differential oracle",
+    )
+    val_p.add_argument(
+        "--skip-oracle", action="store_true",
+        help="fuzz only; skip the differential oracle pass",
+    )
 
     narrate_p = sub.add_parser(
         "narrate", help="annotated timeline of one convergence event"
@@ -254,6 +280,49 @@ def _cmd_narrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validation.fuzz import fuzz, shrink
+    from .validation.oracle import run_differential
+
+    failed = False
+
+    print(f"fuzz: {args.seeds} cases from master seed {args.master_seed}")
+    report = fuzz(args.master_seed, args.seeds)
+    for outcome in report.outcomes:
+        if not outcome.failed:
+            continue
+        failed = True
+        print(f"  FAIL {outcome.case.describe()}")
+        if outcome.error:
+            print(f"       crashed: {outcome.error}")
+        for v in outcome.violations[:5]:
+            print(f"       {v}")
+        if len(outcome.violations) > 5:
+            print(f"       ... and {len(outcome.violations) - 5} more")
+        minimal = shrink(outcome.case)
+        print(f"       minimal repro: {minimal.as_dict()}")
+    print(f"  {report.summary()}")
+
+    if not args.skip_oracle:
+        from .validation.oracle import DEFAULT_PROTOCOLS
+
+        print(
+            f"differential oracle: protocols={','.join(DEFAULT_PROTOCOLS)} "
+            f"degrees={args.degrees} x {args.oracle_seeds} seed(s)"
+        )
+        for degree in args.degrees:
+            for seed in range(1, args.oracle_seeds + 1):
+                diff = run_differential(degree, seed)
+                print(f"  {diff.summary()}")
+                if not diff.ok:
+                    failed = True
+                    for v in diff.all_violations()[:10]:
+                        print(f"       {v}")
+
+    print("validation FAILED" if failed else "validation OK")
+    return 1 if failed else 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.campaign import reproduce
 
@@ -271,6 +340,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "topology": _cmd_topology,
         "narrate": _cmd_narrate,
+        "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
     }
     return handlers[args.command](args)

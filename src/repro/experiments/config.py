@@ -97,6 +97,11 @@ class ExperimentConfig:
     # Record per-packet hop traces (needed for loop analysis; costs memory).
     record_paths: bool = False
 
+    # Attach the online invariant monitors (repro.validation) to every run;
+    # violations land on ScenarioResult.violations.  Costs per-packet record
+    # allocation plus an end-of-run SPF oracle diff.
+    validate: bool = False
+
     def __post_init__(self) -> None:
         if self.rows < 3 or self.cols < 3:
             raise ValueError("mesh must be at least 3x3")

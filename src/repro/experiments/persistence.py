@@ -68,6 +68,7 @@ def scenario_to_dict(result: ScenarioResult) -> dict:
         "transient_path_count": result.transient_path_count,
         "messages": result.messages,
         "withdrawals": result.withdrawals,
+        "violations": list(result.violations),
         "throughput": _series_to_dict(result.throughput),
         "delay": _series_to_dict(result.delay),
         "reordering": (
@@ -118,6 +119,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
         forwarding_convergence=data["forwarding_convergence"],
         converged_to_expected=data["converged_to_expected"],
         transient_path_count=data["transient_path_count"],
+        violations=tuple(data.get("violations", ())),
         throughput=_series_from_dict(data.get("throughput")),
         delay=_series_from_dict(data.get("delay")),
         messages=data["messages"],

@@ -96,6 +96,12 @@ class PointResult:
     def convergence_success_rate(self) -> float:
         return _mean([1.0 if r.converged_to_expected else 0.0 for r in self.runs])
 
+    @property
+    def violations(self) -> list[str]:
+        """Invariant-monitor findings across all runs (validated runs only;
+        see ``ExperimentConfig.validate``), each prefixed with its seed."""
+        return [f"seed {r.seed}: {v}" for r in self.runs for v in r.violations]
+
     def mean_throughput(self) -> BinnedSeries:
         """Run-averaged instantaneous throughput (Figure 5 curves)."""
         return average_series([r.throughput for r in self.runs if r.throughput])

@@ -78,6 +78,10 @@ class ScenarioResult:
     loop_report: Optional[LoopReport] = None
     # Arrival-order inversion analysis (always computed).
     reordering: Optional[ReorderingReport] = None
+    # Invariant-monitor findings (non-empty only for validated runs).
+    violations: tuple[str, ...] = ()
+    # Monitors that declined to judge this run: name -> reason.
+    monitor_skips: dict[str, str] = field(default_factory=dict)
 
     @property
     def total_drops(self) -> int:
@@ -191,9 +195,20 @@ def run_scenario(
     degree: int,
     seed: int,
     config: Optional[ExperimentConfig] = None,
+    monitors: Optional[object] = None,
 ) -> ScenarioResult:
-    """Run one complete experiment and return all measurements."""
+    """Run one complete experiment and return all measurements.
+
+    ``monitors`` is an optional :class:`repro.validation.MonitorSuite` to
+    attach to the run; with ``config.validate`` set a default suite is
+    created automatically.  Monitor findings land on
+    ``ScenarioResult.violations``.
+    """
     config = config or ExperimentConfig.quick()
+    if monitors is None and config.validate:
+        from ..validation.monitors import MonitorSuite
+
+        monitors = MonitorSuite()
     rng_streams = RngStreams(seed)
     scenario_rng = rng_streams.stream("scenario")
 
@@ -217,6 +232,8 @@ def run_scenario(
         bus,
         queue_capacity=config.queue_capacity,
         record_paths=config.record_paths,
+        # Monitors want the hop-by-hop TTL view.
+        record_forwards=monitors is not None,
         priority_control=config.prioritize_control,
     )
     factory = make_protocol_factory(protocol, network, rng_streams, topo, config)
@@ -261,10 +278,32 @@ def run_scenario(
     injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
     injector.fail_link(failed[0], failed[1], at=fail_at)
 
+    detect_at = fail_at + config.detection_delay
+    if monitors is not None:
+        from ..validation.monitors import RunContext, settle_margin_for
+
+        monitors.attach(
+            RunContext(
+                sim=sim,
+                network=network,
+                bus=bus,
+                topology=topo,
+                protocol=protocol,
+                failed_links=((min(failed), max(failed)),),
+                detect_time=detect_at,
+                end_time=end_at,
+                infinity=(
+                    config.dv_infinity
+                    if protocol in ("rip", "rip-hd", "dbf")
+                    else None
+                ),
+                settle_margin=settle_margin_for(protocol),
+            )
+        )
+
     # --- run ------------------------------------------------------------------
     sim.run(until=end_at)
 
-    detect_at = fail_at + config.detection_delay
     deliveries = sink.stats.deliveries
     result = ScenarioResult(
         protocol=protocol,
@@ -297,4 +336,7 @@ def run_scenario(
     if config.record_paths:
         steady_hops = len(pre_path) - 2  # forwarding hops on the original path
         result.loop_report = analyze_deliveries(deliveries, shortest_hops=steady_hops)
+    if monitors is not None:
+        result.violations = tuple(str(v) for v in monitors.finalize())
+        result.monitor_skips = dict(monitors.skips)
     return result

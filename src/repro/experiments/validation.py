@@ -39,6 +39,17 @@ def _degrees(sweep: Sweep, protocol: str) -> list[int]:
     return sorted(d for p, d in sweep if p == protocol)
 
 
+def _common_degrees(sweep: Sweep, *protocols: str) -> list[int]:
+    """Degrees at which *every* named protocol was swept.
+
+    Checks that compare protocols must index only these: a sweep may cover
+    different degree sets per protocol, and a degree list taken from one
+    protocol would KeyError on the other.
+    """
+    sets = [set(_degrees(sweep, p)) for p in protocols]
+    return sorted(set.intersection(*sets)) if sets else []
+
+
 def _have(sweep: Sweep, *protocols: str) -> bool:
     present = {p for p, _ in sweep}
     return all(p in present for p in protocols)
@@ -48,9 +59,9 @@ def _check_obs1_drops_vs_degree(sweep: Sweep) -> CheckResult:
     name = "Obs 1: drops fall with degree; RIP stays high; cache protocols reach ~0"
     if not _have(sweep, "rip", "dbf"):
         return CheckResult(name, None, "needs rip and dbf in the sweep")
-    degrees = _degrees(sweep, "rip")
+    degrees = _common_degrees(sweep, "rip", "dbf")
     if len(degrees) < 2:
-        return CheckResult(name, None, "needs at least two degrees")
+        return CheckResult(name, None, "needs at least two common rip/dbf degrees")
     lo, hi = degrees[0], degrees[-1]
     rip_hi = sweep[("rip", hi)].mean_drops_no_route
     dbf_hi = sweep[("dbf", hi)].mean_drops_no_route
@@ -75,18 +86,27 @@ def _check_obs2_ttl(sweep: Sweep) -> CheckResult:
     degrees = _degrees(sweep, "rip")
     rip_clean = all(sweep[("rip", d)].mean_drops_ttl == 0 for d in degrees)
     hi = degrees[-1]
-    top_clean = all(
-        sweep[(p, hi)].mean_drops_ttl == 0 for p, d in sweep if d == hi
-    )
+    detail = f"rip loop-free: {rip_clean}"
+    top_clean = True
+    if len(degrees) >= 2:
+        # "No loops at the richest degree" is a claim about the high end of
+        # a degree *range*; a single-degree sweep has no range to speak of
+        # (and the paper's loop observations are specifically about low
+        # connectivity), so the sub-check applies only to multi-degree sweeps.
+        top_clean = all(
+            point.mean_drops_ttl == 0
+            for (p, d), point in sweep.items()
+            if d == hi
+        )
+        detail += f"; degree-{hi} loop-free: {top_clean}"
     ratio_ok = True
-    detail = f"rip loop-free: {rip_clean}; degree-{hi} loop-free: {top_clean}"
-    if _have(sweep, "bgp", "bgp3"):
-        sparse = [d for d in degrees if d < hi]
-        if sparse:
-            worst_bgp = max(sweep[("bgp", d)].mean_drops_ttl for d in sparse)
-            worst_bgp3 = max(sweep[("bgp3", d)].mean_drops_ttl for d in sparse)
-            ratio_ok = worst_bgp >= worst_bgp3
-            detail += f"; worst bgp={worst_bgp:.1f} vs bgp3={worst_bgp3:.1f}"
+    bgp_degrees = _common_degrees(sweep, "bgp", "bgp3")
+    sparse = [d for d in bgp_degrees if d < max(bgp_degrees)] if bgp_degrees else []
+    if sparse:
+        worst_bgp = max(sweep[("bgp", d)].mean_drops_ttl for d in sparse)
+        worst_bgp3 = max(sweep[("bgp3", d)].mean_drops_ttl for d in sparse)
+        ratio_ok = worst_bgp >= worst_bgp3
+        detail += f"; worst bgp={worst_bgp:.1f} vs bgp3={worst_bgp3:.1f}"
     return CheckResult(name, rip_clean and top_clean and ratio_ok, detail)
 
 
@@ -94,7 +114,11 @@ def _check_obs3_throughput(sweep: Sweep) -> CheckResult:
     name = "Obs 3: RIP's dip deep and slow; cache protocols barely dip at high degree"
     if not _have(sweep, "rip", "dbf"):
         return CheckResult(name, None, "needs rip and dbf in the sweep")
-    degrees = _degrees(sweep, "rip")
+    degrees = _common_degrees(sweep, "rip", "dbf")
+    if len(degrees) < 2:
+        return CheckResult(
+            name, None, "needs at least two common rip/dbf degrees"
+        )
     lo, hi = degrees[0], degrees[-1]
     try:
         rip_series = sweep[("rip", lo)].mean_throughput()
@@ -119,25 +143,33 @@ def _check_obs4_convergence_decoupling(sweep: Sweep) -> CheckResult:
     name = "Obs 4: BGP-3 converges faster than BGP; drops decouple at high degree"
     if not _have(sweep, "bgp", "bgp3"):
         return CheckResult(name, None, "needs bgp and bgp3 in the sweep")
-    degrees = _degrees(sweep, "bgp")
+    degrees = _common_degrees(sweep, "bgp", "bgp3")
+    if not degrees:
+        return CheckResult(name, None, "bgp and bgp3 share no swept degree")
     faster = all(
         sweep[("bgp3", d)].mean_routing_convergence
         < sweep[("bgp", d)].mean_routing_convergence
         for d in degrees
     )
     hi = degrees[-1]
-    drop_gap = abs(
-        sweep[("bgp", hi)].mean_drops_no_route
-        - sweep[("bgp3", hi)].mean_drops_no_route
-    )
     still_converging = sweep[("bgp", hi)].mean_routing_convergence > 1.0
-    ok = faster and drop_gap < 5 and still_converging
-    return CheckResult(
-        name,
-        ok,
-        f"bgp3 faster at every degree: {faster}; degree-{hi} drop gap "
-        f"{drop_gap:.1f}; bgp still converging {still_converging}",
+    detail = (
+        f"bgp3 faster at every degree: {faster}; "
+        f"bgp still converging {still_converging}"
     )
+    decoupled = True
+    if len(degrees) >= 2:
+        # Drop decoupling (MRAI speed stops mattering for loss) is a claim
+        # about the rich end of a degree *range*; at a lone sparse degree the
+        # variants legitimately differ by hundreds of drops.
+        drop_gap = abs(
+            sweep[("bgp", hi)].mean_drops_no_route
+            - sweep[("bgp3", hi)].mean_drops_no_route
+        )
+        decoupled = drop_gap < 5
+        detail += f"; degree-{hi} drop gap {drop_gap:.1f}"
+    ok = faster and decoupled and still_converging
+    return CheckResult(name, ok, detail)
 
 
 def _check_obs5_delay(sweep: Sweep) -> CheckResult:

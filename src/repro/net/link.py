@@ -52,6 +52,7 @@ class _Channel:
         "queue",
         "control_queue",
         "_busy",
+        "_serializing",
         "_in_flight",
         "_bandwidth",
         "_prop_delay",
@@ -70,6 +71,7 @@ class _Channel:
             DropTailQueue(link.queue_capacity) if link.priority_control else None
         )
         self._busy = False
+        self._serializing: Optional[Packet] = None
         self._in_flight: dict[int, tuple[EventHandle, Packet]] = {}
         self._bandwidth = link.spec.bandwidth
         self._prop_delay = link.spec.delay
@@ -98,14 +100,17 @@ class _Channel:
             packet = self.queue.pop()
         if packet is None:
             self._busy = False
+            self._serializing = None
             return
         self._busy = True
+        self._serializing = packet
         tx = (packet.size_bytes * BITS_PER_BYTE) / self._bandwidth
         self._sim.schedule_call(tx, self._serialized, packet)
 
     def _serialized(self, packet: Packet) -> None:
         # Serialization finished; packet enters propagation.  The transmitter
         # is free to start the next packet.
+        self._serializing = None
         if not self._link.up:
             self._link._drop(packet, self.src, DropCause.LINK_DOWN)
             self._busy = False
@@ -118,6 +123,20 @@ class _Channel:
     def _arrive(self, packet: Packet) -> None:
         del self._in_flight[id(packet)]
         self._link._deliver(self.dst, packet, self.src)
+
+    def occupancy(self, data_only: bool = False) -> int:
+        """Packets currently held by this channel: queued, serializing, or
+        propagating.  With ``data_only`` control messages are excluded.
+        Used by the packet-conservation invariant monitor."""
+        packets = list(self.queue)
+        if self.control_queue is not None:
+            packets.extend(self.control_queue)
+        if self._serializing is not None:
+            packets.append(self._serializing)
+        packets.extend(p for _, p in self._in_flight.values())
+        if data_only:
+            return sum(1 for p in packets if p.is_data)
+        return len(packets)
 
     def flush_on_failure(self) -> None:
         """Drop everything queued or propagating (link just failed)."""
@@ -224,6 +243,11 @@ class Link:
 
     def queue_length(self, from_node: int) -> int:
         return len(self._channels[from_node].queue)
+
+    def occupancy(self, data_only: bool = False) -> int:
+        """Packets currently inside the link (both directions): queued,
+        serializing, or in flight."""
+        return sum(c.occupancy(data_only=data_only) for c in self._channels.values())
 
     @property
     def packets_transmitted(self) -> int:

@@ -29,6 +29,10 @@ class DropTailQueue:
     def __len__(self) -> int:
         return len(self._items)
 
+    def __iter__(self):
+        """Iterate queued packets head-first without consuming them."""
+        return iter(self._items)
+
     @property
     def full(self) -> bool:
         return len(self._items) >= self.capacity

@@ -1,0 +1,235 @@
+"""Deterministic scenario fuzzer.
+
+From one master seed the fuzzer generates a stream of randomized scenarios —
+mesh size and degree, protocol, traffic rate, failure time, observation
+window — runs each with the full online-monitor catalog attached, and
+reports every invariant violation or crash.  Each case is reproducible in
+isolation from ``(master_seed, index)`` alone, and a failing case can be
+*shrunk*: a greedy pass that re-runs progressively simpler variants (smaller
+mesh, lower rate, shorter window) and keeps any simplification that still
+fails, ending in a minimal repro dict suitable for a regression fixture.
+
+Used by ``python -m repro validate`` and the CI ``validate-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from ..experiments.config import ExperimentConfig
+
+__all__ = [
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzReport",
+    "generate_case",
+    "run_case",
+    "fuzz",
+    "shrink",
+]
+
+#: Protocols the fuzzer samples from: the paper's distance-vector pair, a
+#: fast path-vector variant, and the loop-free extensions — all cheap enough
+#: to keep a 25-case smoke run under a couple of minutes.
+FUZZ_PROTOCOLS = ("rip", "dbf", "bgp3", "dual", "spf")
+
+#: Mesh degrees under study (the paper's low-connectivity regime).
+FUZZ_DEGREES = (3, 4, 5)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-determined fuzz scenario."""
+
+    master_seed: int
+    index: int
+    protocol: str
+    degree: int
+    rows: int
+    cols: int
+    seed: int
+    rate_pps: float
+    fail_time: float
+    post_fail_window: float
+    prioritize_control: bool = False
+
+    def config(self) -> ExperimentConfig:
+        return ExperimentConfig.quick().with_(
+            rows=self.rows,
+            cols=self.cols,
+            degrees=(self.degree,),
+            protocols=(self.protocol,),
+            runs=1,
+            seed=self.seed,
+            fail_time=self.fail_time,
+            post_fail_window=self.post_fail_window,
+            rate_pps=self.rate_pps,
+            prioritize_control=self.prioritize_control,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "master_seed": self.master_seed,
+            "index": self.index,
+            "protocol": self.protocol,
+            "degree": self.degree,
+            "rows": self.rows,
+            "cols": self.cols,
+            "seed": self.seed,
+            "rate_pps": self.rate_pps,
+            "fail_time": self.fail_time,
+            "post_fail_window": self.post_fail_window,
+            "prioritize_control": self.prioritize_control,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        return cls(**data)
+
+    def describe(self) -> str:
+        return (
+            f"case #{self.index} (master={self.master_seed}): "
+            f"{self.protocol} degree={self.degree} mesh={self.rows}x{self.cols} "
+            f"seed={self.seed} rate={self.rate_pps}pps "
+            f"fail@{self.fail_time}s window={self.post_fail_window}s"
+            + (" prio-ctl" if self.prioritize_control else "")
+        )
+
+
+@dataclass
+class FuzzOutcome:
+    """Result of running one case: clean, violating, or crashed."""
+
+    case: FuzzCase
+    violations: tuple[str, ...] = ()
+    skips: tuple[str, ...] = ()
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations) or self.error is not None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz run."""
+
+    master_seed: int
+    outcomes: list[FuzzOutcome]
+
+    @property
+    def failures(self) -> list[FuzzOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        n = len(self.outcomes)
+        bad = len(self.failures)
+        status = "OK" if bad == 0 else "FAIL"
+        return f"[{status}] fuzz master_seed={self.master_seed}: {n} cases, {bad} failing"
+
+
+def generate_case(master_seed: int, index: int) -> FuzzCase:
+    """Deterministically derive case ``index`` of stream ``master_seed``.
+
+    Every scenario dimension comes from one local PRNG seeded by the pair,
+    so regenerating any case never requires replaying the stream before it.
+    """
+    rng = random.Random(f"fuzz:{master_seed}:{index}")
+    rows = rng.randint(5, 7)
+    cols = rng.randint(5, 7)
+    return FuzzCase(
+        master_seed=master_seed,
+        index=index,
+        protocol=rng.choice(FUZZ_PROTOCOLS),
+        degree=rng.choice(FUZZ_DEGREES),
+        rows=rows,
+        cols=cols,
+        seed=rng.randint(1, 10_000),
+        rate_pps=float(rng.choice((5, 10, 20))),
+        fail_time=round(rng.uniform(8.0, 14.0), 3),
+        post_fail_window=float(rng.choice((30, 40, 50))),
+        prioritize_control=rng.random() < 0.2,
+    )
+
+
+def run_case(case: FuzzCase) -> FuzzOutcome:
+    """Run one case with the full monitor catalog attached."""
+    from ..experiments.scenario import run_scenario
+    from .monitors import MonitorSuite
+
+    suite = MonitorSuite()
+    try:
+        result = run_scenario(
+            case.protocol, case.degree, case.seed, case.config(), monitors=suite
+        )
+    except Exception as exc:  # noqa: BLE001 - a crash is a fuzz finding
+        return FuzzOutcome(case=case, error=f"{type(exc).__name__}: {exc}")
+    return FuzzOutcome(
+        case=case,
+        violations=result.violations,
+        skips=tuple(f"{k}: {v}" for k, v in sorted(result.monitor_skips.items())),
+    )
+
+
+def fuzz(
+    master_seed: int,
+    n_cases: int,
+    progress: Optional[Callable[[FuzzOutcome], None]] = None,
+) -> FuzzReport:
+    """Run ``n_cases`` deterministic cases from ``master_seed``."""
+    outcomes = []
+    for index in range(n_cases):
+        outcome = run_case(generate_case(master_seed, index))
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return FuzzReport(master_seed=master_seed, outcomes=outcomes)
+
+
+#: Shrink moves, tried in order and to fixpoint: each maps a case to a
+#: strictly "simpler" candidate or None if it no longer applies.
+_SHRINK_MOVES: list[Callable[[FuzzCase], Optional[FuzzCase]]] = [
+    lambda c: replace(c, rows=c.rows - 1) if c.rows > 5 else None,
+    lambda c: replace(c, cols=c.cols - 1) if c.cols > 5 else None,
+    lambda c: replace(c, post_fail_window=30.0) if c.post_fail_window > 30 else None,
+    lambda c: replace(c, rate_pps=5.0) if c.rate_pps > 5 else None,
+    lambda c: replace(c, prioritize_control=False) if c.prioritize_control else None,
+    lambda c: replace(c, fail_time=10.0) if c.fail_time != 10.0 else None,
+]
+
+
+def shrink(
+    case: FuzzCase,
+    still_fails: Optional[Callable[[FuzzCase], bool]] = None,
+    max_runs: int = 32,
+) -> FuzzCase:
+    """Greedy minimization: keep any simplification that still fails.
+
+    ``still_fails`` defaults to re-running the case with monitors and
+    checking for violations/crashes; ``max_runs`` bounds the re-run budget
+    so shrinking a flaky failure cannot spin forever.
+    """
+    if still_fails is None:
+        still_fails = lambda c: run_case(c).failed  # noqa: E731
+    current = case
+    budget = max_runs
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for move in _SHRINK_MOVES:
+            if budget <= 0:
+                break
+            candidate = move(current)
+            if candidate is None:
+                continue
+            budget -= 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+    return current

@@ -81,6 +81,23 @@ class TestCommands:
         )
         assert path.exists()
 
+    def test_validate_command_small(self, capsys):
+        assert (
+            main(["validate", "--seeds", "2", "--degrees", "3",
+                  "--oracle-seeds", "1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fuzz: 2 cases" in out
+        assert "differential oracle" in out
+        assert "validation OK" in out
+
+    def test_validate_skip_oracle(self, capsys):
+        assert main(["validate", "--seeds", "1", "--skip-oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "differential oracle" not in out
+        assert "validation OK" in out
+
     def test_sweep_command_small(self, capsys):
         assert (
             main(

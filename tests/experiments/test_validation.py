@@ -50,3 +50,47 @@ class TestValidateObservations:
         text = format_checks(validate_observations(sweep))
         assert "PASS" in text
         assert "passed" in text
+
+
+class TestDegreeEdgeCases:
+    """Sweeps with one degree, or different degree sets per protocol, must
+    skip range-based checks instead of crashing or mis-indexing."""
+
+    def test_single_degree_sweep_skips_range_checks(self, sweep):
+        single = {k: v for k, v in sweep.items() if k[1] == 4}
+        results = validate_observations(single)
+        assert all(r.passed is not False for r in results[:4])
+        obs1, _, obs3, _ = results[:4]
+        assert obs1.skipped and "two common" in obs1.detail
+        assert obs3.skipped
+
+    def test_mismatched_degree_sets_do_not_keyerror(self, sweep):
+        # rip swept at 3/4/6, dbf only at 6, bgp3 only at 3: every
+        # cross-protocol check must restrict itself to common degrees.
+        ragged = {k: v for k, v in sweep.items() if k[0] == "rip"}
+        ragged[("dbf", 6)] = sweep[("dbf", 6)]
+        ragged[("bgp", 3)] = sweep[("bgp", 3)]
+        ragged[("bgp", 4)] = sweep[("bgp", 4)]
+        ragged[("bgp3", 3)] = sweep[("bgp3", 3)]
+        results = validate_observations(ragged)  # must not raise
+        assert len(results) == 5
+        obs1 = results[0]
+        assert obs1.skipped  # only one common rip/dbf degree
+
+    def test_disjoint_bgp_degrees_skip_obs4(self, sweep):
+        partial = {
+            ("bgp", 3): sweep[("bgp", 3)],
+            ("bgp3", 6): sweep[("bgp3", 6)],
+        }
+        results = validate_observations(partial)
+        obs4 = results[3]
+        assert obs4.skipped and "no swept degree" in obs4.detail
+
+    def test_one_common_degree_still_checks_obs4(self, sweep):
+        partial = {
+            ("bgp", 4): sweep[("bgp", 4)],
+            ("bgp3", 4): sweep[("bgp3", 4)],
+        }
+        results = validate_observations(partial)
+        obs4 = results[3]
+        assert not obs4.skipped

@@ -1,0 +1,69 @@
+"""Differential regression fixtures.
+
+Three pinned (degree, seed) scenarios that must stay monitor-clean and
+oracle-consistent for the paper's distance-vector pair.  These are the
+fast canary for regressions in protocol logic, the failure injector, or
+the monitors themselves: any invariant violation or cross-protocol cost
+disagreement fails loudly with the offending scenario named.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import run_scenario
+from repro.validation.monitors import MonitorSuite
+from repro.validation.oracle import run_differential
+
+#: (degree, seed) fixtures spanning the sparse and mid-connectivity regimes.
+FIXTURES = [(3, 1), (3, 2), (5, 1)]
+
+
+@pytest.mark.parametrize("degree,seed", FIXTURES)
+def test_differential_fixture_clean(degree, seed):
+    report = run_differential(degree, seed, protocols=("dbf", "rip"))
+    assert report.ok, "\n".join(report.all_violations())
+    for protocol in ("dbf", "rip"):
+        outcome = report.outcomes[protocol]
+        assert outcome.monitor_violations == ()
+        assert outcome.delivered > 0
+
+
+@pytest.mark.parametrize("protocol", ["dbf", "rip"])
+@pytest.mark.parametrize("degree", [3, 5])
+def test_monitored_run_clean(protocol, degree):
+    suite = MonitorSuite()
+    config = ExperimentConfig.quick()
+    result = run_scenario(protocol, degree, 1, config, monitors=suite)
+    assert result.violations == (), "\n".join(result.violations)
+    # The suite must have actually watched the run, not silently skipped
+    # everything: packet conservation and TTL checks never skip.
+    active = {m.name for m in suite.monitors if m.skipped is None}
+    assert {"packet-conservation", "ttl"} <= active
+
+
+def test_monitors_do_not_perturb_metrics():
+    # Monitors are pure observers: a validated run must produce exactly the
+    # metrics of an unvalidated one (docs/validation.md relies on this).
+    config = ExperimentConfig.quick()
+    plain = run_scenario("dbf", 3, 1, config)
+    watched = run_scenario("dbf", 3, 1, config, monitors=MonitorSuite())
+    for field in (
+        "sent",
+        "delivered",
+        "drops_no_route",
+        "drops_ttl",
+        "messages",
+        "routing_convergence",
+        "forwarding_convergence",
+        "converged_to_expected",
+    ):
+        assert getattr(plain, field) == getattr(watched, field), field
+
+
+def test_validate_flag_attaches_monitors():
+    config = ExperimentConfig.quick().with_(validate=True)
+    result = run_scenario("rip", 3, 1, config)
+    assert result.violations == ()
+    assert "packet-conservation" not in result.monitor_skips
