@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI smoke: kill a checkpointed sweep mid-flight, resume, diff vs clean.
+
+Runs a tiny (protocol x degree x seed) grid three ways:
+
+1. an uninterrupted checkpointed sweep, saved as ``clean.json``;
+2. the same sweep SIGTERM-killed once at least two shard records exist;
+3. a resume of (2) from its checkpoint, saved as ``resumed.json``.
+
+Exits non-zero unless the kill landed mid-sweep and ``resumed.json`` is
+byte-for-byte identical to ``clean.json`` — the durability contract of
+``repro.experiments.store``.
+
+Usage: python scripts/sweep_resume_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Per-seed pacing so the SIGTERM deterministically lands mid-sweep.
+PACE_SECONDS = "0.2"
+RUNS = 6
+
+
+def shard_count(path: str) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path) as f:
+        return sum(1 for _ in f)
+
+
+def main() -> int:
+    workdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="sweep-resume-smoke-"
+    )
+    os.makedirs(workdir, exist_ok=True)
+    env = dict(os.environ, REPRO_TEST_SLEEP_SECONDS=PACE_SECONDS)
+    base = [
+        sys.executable, "-m", "repro", "sweep",
+        "--protocols", "static", "--degrees", "4", "--runs", str(RUNS),
+    ]
+
+    print(f"[1/3] clean sweep ({RUNS} seeds) ...")
+    clean = os.path.join(workdir, "clean.json")
+    subprocess.run(
+        [*base, "--checkpoint", os.path.join(workdir, "clean_ck"),
+         "--save", clean],
+        env=env, check=True,
+    )
+
+    print("[2/3] checkpointed sweep, SIGTERM mid-flight ...")
+    ck = os.path.join(workdir, "ck")
+    shards = os.path.join(ck, "shards.jsonl")
+    proc = subprocess.Popen([*base, "--checkpoint", ck], env=env)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if shard_count(shards) >= 2:
+            break
+        if proc.poll() is not None:
+            print("FAIL: sweep finished before it could be killed")
+            return 1
+        time.sleep(0.02)
+    else:
+        proc.kill()
+        print("FAIL: no shards appeared before the kill deadline")
+        return 1
+    proc.send_signal(signal.SIGTERM)
+    proc.wait(timeout=30)
+    killed_at = shard_count(shards)
+    print(f"      killed with {killed_at}/{RUNS} seeds checkpointed")
+    if not 1 <= killed_at < RUNS:
+        print("FAIL: kill did not land mid-sweep")
+        return 1
+
+    print("[3/3] resume from the checkpoint ...")
+    resumed = os.path.join(workdir, "resumed.json")
+    subprocess.run(
+        [*base, "--checkpoint", ck, "--save", resumed], env=env, check=True,
+    )
+
+    with open(clean, "rb") as f:
+        clean_bytes = f.read()
+    with open(resumed, "rb") as f:
+        resumed_bytes = f.read()
+    if clean_bytes != resumed_bytes:
+        print("FAIL: resumed results differ from the uninterrupted sweep")
+        return 1
+    print("OK: kill-and-resume is bit-identical to an uninterrupted sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@ Exposes the experiment harness without writing Python::
     python -m repro figure 3                  # reproduce Figure 3's table
     python -m repro figure 5 --degrees 3 4 6  # throughput series
     python -m repro sweep --protocols rip dbf --degrees 3 4 5 6
+    python -m repro sweep --checkpoint runs/ --workers 4   # durable, resumable
+    python -m repro sweep --checkpoint runs/ --resume      # continue after a kill
     python -m repro topology --degree 5       # inspect a mesh
     python -m repro validate --seeds 25       # fuzzer + differential oracle
 
@@ -57,6 +59,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--runs", type=int)
     sweep_p.add_argument("--workers", type=int, default=1, help="process pool size")
     sweep_p.add_argument("--save", metavar="FILE", help="write results as JSON")
+    sweep_p.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="durable shard store: completed seeds are appended there and an "
+             "interrupted sweep resumes from it (config must match)",
+    )
+    sweep_p.add_argument(
+        "--resume", action="store_true",
+        help="take the configuration from the checkpoint manifest instead of "
+             "the command line (requires --checkpoint with an existing manifest)",
+    )
+    sweep_p.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per seed; a hung seed is recorded as a "
+             "failure and the sweep keeps going",
+    )
+    sweep_p.add_argument(
+        "--retries", type=int, default=1,
+        help="attempts to re-run a seed whose worker died (default 1)",
+    )
+    sweep_p.add_argument(
+        "--progress", action="store_true", help="print per-seed progress lines"
+    )
 
     topo_p = sub.add_parser("topology", help="inspect a regular mesh")
     topo_p.add_argument("--degree", type=int, default=4)
@@ -69,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     repro_p.add_argument("--out", default="reproduction")
     repro_p.add_argument("--runs", type=int)
     repro_p.add_argument("--degrees", type=int, nargs="+")
+    repro_p.add_argument(
+        "--workers", type=int, default=1,
+        help="process pool size for the campaign's full sweep",
+    )
+    repro_p.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="durable shard store for the campaign's full sweep",
+    )
 
     val_p = sub.add_parser(
         "validate",
@@ -188,8 +220,57 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = _config(args)
-    results = run_sweep(config, workers=getattr(args, "workers", 1))
+    store = None
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    if getattr(args, "checkpoint", None):
+        from .experiments.store import SweepStore
+
+        store = SweepStore(args.checkpoint)
+        if args.resume:
+            if not store.exists():
+                print(
+                    f"error: no sweep manifest in {args.checkpoint!r} to "
+                    "resume from",
+                    file=sys.stderr,
+                )
+                return 2
+            config = store.load_config()
+        else:
+            config = _config(args)
+    else:
+        config = _config(args)
+
+    progress = None
+    if getattr(args, "progress", False):
+        def progress(done: int, total: int, message: str) -> None:
+            print(f"[{done}/{total}] {message}")
+
+    try:
+        results = run_sweep(
+            config,
+            workers=getattr(args, "workers", 1),
+            store=store,
+            timeout=getattr(args, "timeout", None),
+            retries=getattr(args, "retries", 1),
+            progress=progress,
+        )
+    except KeyboardInterrupt:
+        if store is not None:
+            print(
+                f"\ninterrupted; completed seeds are checkpointed in "
+                f"{args.checkpoint!r} — rerun with --checkpoint "
+                f"{args.checkpoint} (or --resume) to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\ninterrupted; nothing checkpointed (use --checkpoint DIR "
+                "for resumable sweeps)",
+                file=sys.stderr,
+            )
+        return 130
     if getattr(args, "save", None):
         from .experiments.persistence import save_points
 
@@ -205,6 +286,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{point.mean_drops_ttl:>6.1f} {point.mean_forwarding_convergence:>12.2f} "
             f"{point.mean_routing_convergence:>11.2f} {point.mean_delivery_ratio:>9.3f}"
         )
+    n_failures = sum(len(p.failures) for p in results.values())
+    if n_failures:
+        print(f"\n{n_failures} seed(s) failed:")
+        for _, point in sorted(results.items()):
+            for failure in point.failures:
+                print(f"  {failure}")
     return 0
 
 
@@ -327,7 +414,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.campaign import reproduce
 
     config = _config(args)
-    report = reproduce(config, out_dir=args.out, progress=True)
+    report = reproduce(
+        config,
+        out_dir=args.out,
+        progress=True,
+        workers=getattr(args, "workers", 1),
+        checkpoint_dir=getattr(args, "checkpoint", None),
+    )
     print(f"\nreport: {report.path('REPORT.md')}")
     return 0
 

@@ -31,6 +31,7 @@ from .figures import (
 from .persistence import save_points
 from .plotting import save_svg, series_chart, sweep_chart
 from .report import format_series_grid, format_sweep_table
+from .runner import run_sweep
 from .validation import format_checks, validate_observations
 
 __all__ = ["CampaignReport", "reproduce"]
@@ -61,8 +62,17 @@ def reproduce(
     config: Optional[ExperimentConfig] = None,
     out_dir: str = "reproduction",
     progress: bool = False,
+    workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> CampaignReport:
-    """Run the full figure suite and write all artifacts to ``out_dir``."""
+    """Run the full figure suite and write all artifacts to ``out_dir``.
+
+    ``checkpoint_dir`` makes the campaign's full sweep (the one behind
+    Figure 6 and ``results.json``) durable: completed seeds are appended to
+    a shard store there, and an interrupted campaign resumes the sweep from
+    the shards instead of re-simulating.  ``workers`` parallelizes that
+    sweep over a supervised process pool.
+    """
     config = config or ExperimentConfig.quick()
     os.makedirs(out_dir, exist_ok=True)
     report = CampaignReport(out_dir=out_dir, config=config)
@@ -114,7 +124,8 @@ def reproduce(
     report.artifacts.append("figure5_throughput.svg")
 
     log("Figure 6: convergence vs degree ...")
-    fwd, rt = figure6_convergence(config)
+    sweep_points = run_sweep(config, workers=workers, store=checkpoint_dir)
+    fwd, rt = figure6_convergence(config, points=sweep_points)
     _write(
         report,
         "figure6_convergence.txt",

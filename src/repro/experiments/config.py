@@ -22,7 +22,9 @@ paper meant (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from ..net.failure import DEFAULT_DETECTION_DELAY
 from ..net.link import DEFAULT_QUEUE_CAPACITY
@@ -138,3 +140,51 @@ class ExperimentConfig:
     def with_(self, **overrides) -> "ExperimentConfig":
         """Functional update helper."""
         return replace(self, **overrides)
+
+    # -- durable-sweep support (manifests, resume) ---------------------------
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        """The per-point seed list (``seed``, ``seed+1``, ...)."""
+        return tuple(self.seed + i for i in range(self.runs))
+
+    def grid(self) -> list[tuple[str, int, int]]:
+        """The full (protocol, degree, seed) task grid, in canonical order.
+
+        This order is the contract for deterministic sweep assembly: results
+        are always reported in grid order no matter which worker finished
+        first, so interrupted-and-resumed sweeps aggregate identically to
+        uninterrupted ones.
+        """
+        return [
+            (protocol, degree, seed)
+            for protocol in self.protocols
+            for degree in self.degrees
+            for seed in self.seeds
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (tuples become lists)."""
+        return {
+            key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in asdict(self).items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict` (e.g. from a sweep manifest)."""
+        kwargs = dict(data)
+        for key in ("degrees", "protocols"):
+            if key in kwargs and kwargs[key] is not None:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash; guards a checkpoint against config drift.
+
+        A sweep store records this at creation and refuses to resume under a
+        different configuration — mixed-config shards would silently corrupt
+        the aggregate.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -161,9 +161,15 @@ def figure5_throughput(
 
 def figure6_convergence(
     config: Optional[ExperimentConfig] = None,
+    points: Optional[dict[tuple[str, int], PointResult]] = None,
 ) -> tuple[SweepTable, SweepTable]:
     """(a) forwarding-path convergence delay and (b) network routing
-    convergence time, vs node degree."""
+    convergence time, vs node degree.
+
+    ``points`` accepts a precomputed sweep (as from ``run_sweep``, e.g. a
+    checkpointed/parallel one) instead of re-simulating; seeds and grid
+    order match ``run_point``, so the tables are identical either way.
+    """
     config = config or ExperimentConfig.quick()
     forwarding = SweepTable(
         title="Figure 6a: forwarding path convergence time vs node degree",
@@ -177,7 +183,10 @@ def figure6_convergence(
     )
     for protocol in config.protocols:
         for degree in config.degrees:
-            point = run_point(protocol, degree, config)
+            if points is not None:
+                point = points[(protocol, degree)]
+            else:
+                point = run_point(protocol, degree, config)
             forwarding.points[(protocol, degree)] = point
             routing.points[(protocol, degree)] = point
             forwarding.values[(protocol, degree)] = point.mean_forwarding_convergence

@@ -5,9 +5,15 @@ results (`save_points`) and reload them for later analysis or plotting
 (`load_points`) without re-simulating.  The format is plain JSON — stable,
 diff-able, and readable outside Python.
 
-Only aggregate-relevant fields are persisted (scalar measurements plus the
-throughput/delay series); per-packet traces and loop reports are run-time
-artifacts and are not serialized.
+Format history:
+
+* **v2** (current) — lossless for everything a sweep produces: scenario
+  measurements, the throughput/delay series, loop and reordering reports,
+  monitor skips, and per-point :class:`SweepFailure` records.  A
+  save→load→save round trip is byte-identical.
+* **v1** — scalar measurements plus series only; silently dropped
+  ``monitor_skips``, ``loop_report``, and point ``failures``.  Still loadable
+  (missing fields come back as their defaults); re-saving upgrades to v2.
 """
 
 from __future__ import annotations
@@ -15,19 +21,25 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping
 
+from ..metrics.loops import LoopReport
 from ..metrics.reordering import ReorderingReport
 from ..metrics.timeseries import BinnedSeries
-from .runner import PointResult
+from .runner import PointResult, SweepFailure
 from .scenario import ScenarioResult
 
 __all__ = [
     "scenario_to_dict",
     "scenario_from_dict",
+    "failure_to_dict",
+    "failure_from_dict",
     "save_points",
     "load_points",
 ]
 
-_FORMAT_VERSION = 1
+#: Version written by :func:`save_points` / the sweep shard store.
+FORMAT_VERSION = 2
+#: Versions :func:`load_points` understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _series_to_dict(series: BinnedSeries | None) -> dict | None:
@@ -43,7 +55,7 @@ def _series_from_dict(data: Mapping | None) -> BinnedSeries | None:
 
 
 def scenario_to_dict(result: ScenarioResult) -> dict:
-    """JSON-ready representation of one run's measurements."""
+    """JSON-ready representation of one run's measurements (format v2)."""
     return {
         "protocol": result.protocol,
         "degree": result.degree,
@@ -53,7 +65,9 @@ def scenario_to_dict(result: ScenarioResult) -> dict:
         "failed_link": list(result.failed_link),
         "pre_failure_path": list(result.pre_failure_path),
         "expected_final_path": (
-            list(result.expected_final_path) if result.expected_final_path else None
+            list(result.expected_final_path)
+            if result.expected_final_path is not None
+            else None
         ),
         "sent": result.sent,
         "delivered": result.delivered,
@@ -69,6 +83,7 @@ def scenario_to_dict(result: ScenarioResult) -> dict:
         "messages": result.messages,
         "withdrawals": result.withdrawals,
         "violations": list(result.violations),
+        "monitor_skips": dict(result.monitor_skips),
         "throughput": _series_to_dict(result.throughput),
         "delay": _series_to_dict(result.delay),
         "reordering": (
@@ -78,16 +93,30 @@ def scenario_to_dict(result: ScenarioResult) -> dict:
                 "max_displacement": result.reordering.max_displacement,
                 "episodes": result.reordering.episodes,
             }
-            if result.reordering
+            if result.reordering is not None
+            else None
+        ),
+        "loop_report": (
+            {
+                "delivered": result.loop_report.delivered,
+                "escaped_loop": result.loop_report.escaped_loop,
+                "loop_cycles": [list(c) for c in result.loop_report.loop_cycles],
+                "max_extra_hops": result.loop_report.max_extra_hops,
+            }
+            if result.loop_report is not None
             else None
         ),
     }
 
 
 def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
-    """Inverse of :func:`scenario_to_dict`."""
+    """Inverse of :func:`scenario_to_dict` (accepts v1 and v2 dicts).
+
+    Present-but-empty collections are restored as empty, not collapsed to
+    ``None``: only a JSON ``null`` (or a missing v1 field) maps to ``None``.
+    """
     reordering = None
-    if data.get("reordering"):
+    if data.get("reordering") is not None:
         r = data["reordering"]
         reordering = ReorderingReport(
             delivered=r["delivered"],
@@ -95,6 +124,16 @@ def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
             max_displacement=r["max_displacement"],
             episodes=r["episodes"],
         )
+    loop_report = None
+    if data.get("loop_report") is not None:
+        lr = data["loop_report"]
+        loop_report = LoopReport(
+            delivered=lr["delivered"],
+            escaped_loop=lr["escaped_loop"],
+            loop_cycles=tuple(tuple(c) for c in lr["loop_cycles"]),
+            max_extra_hops=lr["max_extra_hops"],
+        )
+    expected_final_path = data.get("expected_final_path")
     return ScenarioResult(
         protocol=data["protocol"],
         degree=data["degree"],
@@ -104,9 +143,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
         failed_link=tuple(data["failed_link"]),
         pre_failure_path=tuple(data["pre_failure_path"]),
         expected_final_path=(
-            tuple(data["expected_final_path"])
-            if data.get("expected_final_path")
-            else None
+            tuple(expected_final_path) if expected_final_path is not None else None
         ),
         sent=data["sent"],
         delivered=data["delivered"],
@@ -120,23 +157,46 @@ def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
         converged_to_expected=data["converged_to_expected"],
         transient_path_count=data["transient_path_count"],
         violations=tuple(data.get("violations", ())),
+        monitor_skips=dict(data.get("monitor_skips") or {}),
         throughput=_series_from_dict(data.get("throughput")),
         delay=_series_from_dict(data.get("delay")),
         messages=data["messages"],
         withdrawals=data["withdrawals"],
+        loop_report=loop_report,
         reordering=reordering,
     )
 
 
+def failure_to_dict(failure: SweepFailure) -> dict:
+    """JSON-ready representation of one :class:`SweepFailure`."""
+    return {
+        "protocol": failure.protocol,
+        "degree": failure.degree,
+        "seed": failure.seed,
+        "error": failure.error,
+    }
+
+
+def failure_from_dict(data: Mapping[str, Any]) -> SweepFailure:
+    """Inverse of :func:`failure_to_dict`."""
+    return SweepFailure(
+        protocol=data["protocol"],
+        degree=data["degree"],
+        seed=data["seed"],
+        error=data["error"],
+    )
+
+
 def save_points(points: Mapping[tuple[str, int], PointResult], path: str) -> None:
-    """Write a sweep (as from ``run_sweep``) to ``path`` as JSON."""
+    """Write a sweep (as from ``run_sweep``) to ``path`` as JSON (v2)."""
     payload = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": FORMAT_VERSION,
         "points": [
             {
                 "protocol": protocol,
                 "degree": degree,
                 "runs": [scenario_to_dict(r) for r in point.runs],
+                "failures": [failure_to_dict(f) for f in point.failures],
             }
             for (protocol, degree), point in sorted(points.items())
         ],
@@ -146,15 +206,18 @@ def save_points(points: Mapping[tuple[str, int], PointResult], path: str) -> Non
 
 
 def load_points(path: str) -> dict[tuple[str, int], PointResult]:
-    """Read a sweep previously written by :func:`save_points`."""
+    """Read a sweep previously written by :func:`save_points` (v1 or v2)."""
     with open(path, "r", encoding="utf-8") as f:
         payload = json.load(f)
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported results format version {version!r}")
     out: dict[tuple[str, int], PointResult] = {}
     for entry in payload["points"]:
         point = PointResult(protocol=entry["protocol"], degree=entry["degree"])
         point.runs.extend(scenario_from_dict(r) for r in entry["runs"])
+        point.failures.extend(
+            failure_from_dict(f) for f in entry.get("failures", ())
+        )
         out[(entry["protocol"], entry["degree"])] = point
     return out

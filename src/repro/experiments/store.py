@@ -1,0 +1,249 @@
+"""Durable sweep checkpoint store: a manifest plus append-only JSONL shards.
+
+Paper-scale sweeps average (protocol × degree × seed) grids that take minutes
+to simulate; losing a whole campaign to a crash, an OOM-killed worker, or a
+Ctrl-C is not acceptable at that scale.  The store makes sweeps durable:
+
+* ``manifest.json`` — the sweep's identity: results format version, the
+  configuration (and its content hash), and the full task grid.  Written
+  atomically once, when the store is first opened.
+* ``shards.jsonl`` — one JSON record per completed task, appended and flushed
+  as each seed finishes.  A record is either a full v2 scenario dict
+  (``{"kind": "run", ...}``) or a recorded failure
+  (``{"kind": "failure", ...}``).
+
+Resume semantics: reopening the store with the *same* configuration (checked
+by content hash — see :meth:`ExperimentConfig.fingerprint`) yields the set of
+already-completed tasks; the executor re-runs only what is missing.  Because
+every seed is deterministic in (protocol, degree, seed, config) and the v2
+format round-trips losslessly, a killed-and-resumed sweep is bit-identical
+to an uninterrupted one.
+
+Crash tolerance: a process killed mid-append can leave a torn final line;
+:meth:`SweepStore.open` repairs the shard file by truncating it back to the
+last complete record before any new append, so the file never accretes
+garbage between two valid records.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Optional, Union
+
+from .config import ExperimentConfig
+from .persistence import (
+    FORMAT_VERSION,
+    failure_from_dict,
+    failure_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .runner import SweepFailure
+from .scenario import ScenarioResult
+
+__all__ = ["SweepStore", "StoreMismatchError", "Task", "Outcome"]
+
+#: One grid cell: (protocol, degree, seed).
+Task = tuple[str, int, int]
+#: What a completed task produced.
+Outcome = Union[ScenarioResult, SweepFailure]
+
+MANIFEST_NAME = "manifest.json"
+SHARDS_NAME = "shards.jsonl"
+
+
+class StoreMismatchError(ValueError):
+    """The store on disk belongs to a different sweep configuration."""
+
+
+def _outcome_key(outcome: Outcome) -> Task:
+    return (outcome.protocol, outcome.degree, outcome.seed)
+
+
+class SweepStore:
+    """Append-only checkpoint store for one sweep directory.
+
+    Typical lifecycle::
+
+        store = SweepStore("campaign/")
+        store.open(config)            # create or validate the manifest
+        done = store.load_outcomes()  # {} on a fresh store
+        ... run missing tasks, calling store.append(outcome) per task ...
+        store.close()
+
+    ``append`` flushes each record, so at most the in-flight record is lost
+    to a hard kill — and the torn-tail repair in :meth:`open` cleans that up
+    on the next resume.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self.directory = os.fspath(directory)
+        self._manifest: Optional[dict] = None
+        self._shard_file: Optional[io.TextIOWrapper] = None
+
+    # ------------------------------------------------------------- paths
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    @property
+    def shards_path(self) -> str:
+        return os.path.join(self.directory, SHARDS_NAME)
+
+    def exists(self) -> bool:
+        """True if this directory already holds a sweep manifest."""
+        return os.path.exists(self.manifest_path)
+
+    # ---------------------------------------------------------- manifest
+
+    def open(self, config: ExperimentConfig) -> None:
+        """Create the store for ``config``, or validate an existing one.
+
+        Raises :class:`StoreMismatchError` if the directory already holds a
+        manifest for a different configuration — resuming a sweep under
+        changed parameters would silently mix incompatible results.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        if self.exists():
+            manifest = self._read_manifest()
+            recorded = manifest.get("config_hash")
+            if recorded != config.fingerprint():
+                raise StoreMismatchError(
+                    f"checkpoint at {self.directory!r} was created with a "
+                    f"different configuration (hash {recorded!r} != "
+                    f"{config.fingerprint()!r}); use a fresh directory or "
+                    "the manifest's own config"
+                )
+            self._manifest = manifest
+        else:
+            manifest = {
+                "format_version": FORMAT_VERSION,
+                "config_hash": config.fingerprint(),
+                "config": config.to_dict(),
+                "grid": [list(task) for task in config.grid()],
+            }
+            self._write_manifest(manifest)
+            self._manifest = manifest
+        self._repair_shards()
+
+    def _read_manifest(self) -> dict:
+        with open(self.manifest_path, "r", encoding="utf-8") as f:
+            manifest = json.load(f)
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported sweep manifest version {version!r} "
+                f"in {self.manifest_path!r}"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        # Atomic: a crash during creation leaves either no manifest (fresh
+        # start next time) or a complete one, never a torn half-manifest.
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=1)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    def load_config(self) -> ExperimentConfig:
+        """The configuration recorded in the manifest (for ``--resume``)."""
+        manifest = self._manifest or self._read_manifest()
+        return ExperimentConfig.from_dict(manifest["config"])
+
+    def grid(self) -> list[Task]:
+        """The full task grid recorded in the manifest."""
+        manifest = self._manifest or self._read_manifest()
+        return [(str(p), int(d), int(s)) for p, d, s in manifest["grid"]]
+
+    # ------------------------------------------------------------ shards
+
+    def _repair_shards(self) -> None:
+        """Truncate a torn trailing record left by a hard kill mid-append."""
+        if not os.path.exists(self.shards_path):
+            return
+        valid_end = 0
+        with open(self.shards_path, "rb") as f:
+            for line in f:
+                if not line.endswith(b"\n"):
+                    break  # partial tail: no terminator
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    break  # terminator present but record torn
+                valid_end += len(line)
+        if valid_end < os.path.getsize(self.shards_path):
+            with open(self.shards_path, "r+b") as f:
+                f.truncate(valid_end)
+
+    def load_outcomes(self) -> dict[Task, Outcome]:
+        """All durably recorded outcomes, keyed by (protocol, degree, seed).
+
+        Tolerates a torn trailing line (ignored) and duplicate records for
+        the same task (first record wins — it is the one a previous run
+        completed and may already have reported).
+        """
+        out: dict[Task, Outcome] = {}
+        if not os.path.exists(self.shards_path):
+            return out
+        with open(self.shards_path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a crash mid-append
+                outcome = self._decode(record)
+                out.setdefault(_outcome_key(outcome), outcome)
+        return out
+
+    @staticmethod
+    def _decode(record: dict) -> Outcome:
+        kind = record.get("kind")
+        if kind == "run":
+            return scenario_from_dict(record["run"])
+        if kind == "failure":
+            return failure_from_dict(record["failure"])
+        raise ValueError(f"unknown shard record kind {kind!r}")
+
+    def append(self, outcome: Outcome) -> None:
+        """Durably record one completed task (flushed immediately)."""
+        if isinstance(outcome, SweepFailure):
+            record = {"kind": "failure", "failure": failure_to_dict(outcome)}
+        else:
+            record = {"kind": "run", "run": scenario_to_dict(outcome)}
+        if self._shard_file is None:
+            self._shard_file = open(self.shards_path, "a", encoding="utf-8")
+        self._shard_file.write(json.dumps(record) + "\n")
+        self._shard_file.flush()
+
+    def completed_tasks(self) -> set[Task]:
+        """Tasks with a durable outcome (run or recorded failure)."""
+        return set(self.load_outcomes())
+
+    def missing_tasks(self) -> list[Task]:
+        """Grid tasks with no durable outcome yet, in grid order."""
+        done = self.completed_tasks()
+        return [task for task in self.grid() if task not in done]
+
+    def close(self) -> None:
+        """Flush and fsync the shard file (safe to call repeatedly)."""
+        if self._shard_file is not None:
+            self._shard_file.flush()
+            os.fsync(self._shard_file.fileno())
+            self._shard_file.close()
+            self._shard_file = None
+
+    # ----------------------------------------------------- context manager
+
+    def __enter__(self) -> "SweepStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -67,12 +67,17 @@ def _bins(start: float, stop: float, width: float) -> list[float]:
         raise ValueError(f"empty window [{start}, {stop})")
     if width <= 0:
         raise ValueError(f"bin width must be positive, got {width}")
+    # Each edge is computed directly as start + i*width: a running t += width
+    # accumulates float error across hundreds of bins, drifting the right
+    # edges (and the bin a delivery lands in) away from int((t-start)/width).
     edges = []
-    t = start
-    while t < stop - 1e-12:
-        edges.append(t)
-        t += width
-    return edges
+    i = 0
+    while True:
+        edge = start + i * width
+        if edge >= stop - 1e-12:
+            return edges
+        edges.append(edge)
+        i += 1
 
 
 def throughput_series(
@@ -136,11 +141,15 @@ def jitter_series(
     counts = [0] * len(edges)
     ordered = sorted(deliveries, key=lambda d: d.time)
     for prev, cur in zip(ordered, ordered[1:]):
-        if start <= cur.time < stop:
-            idx = int((cur.time - start) / bin_width)
-            if 0 <= idx < len(edges):
-                sums[idx] += abs(cur.delay - prev.delay)
-                counts[idx] += 1
+        # Both deliveries of a pair must lie inside [start, stop): a prev
+        # before the window would leak its delay delta across the edge and
+        # charge the first bin with jitter the window never saw.
+        if prev.time < start or not (start <= cur.time < stop):
+            continue
+        idx = int((cur.time - start) / bin_width)
+        if 0 <= idx < len(edges):
+            sums[idx] += abs(cur.delay - prev.delay)
+            counts[idx] += 1
     values = tuple(s / c if c else 0.0 for s, c in zip(sums, counts))
     return BinnedSeries(times=tuple(t - origin for t in edges), values=values)
 

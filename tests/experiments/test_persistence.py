@@ -8,12 +8,14 @@ import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.persistence import (
+    failure_from_dict,
+    failure_to_dict,
     load_points,
     save_points,
     scenario_from_dict,
     scenario_to_dict,
 )
-from repro.experiments.runner import run_point
+from repro.experiments.runner import SweepFailure, run_point
 from repro.experiments.scenario import run_scenario
 
 TINY = ExperimentConfig.quick().with_(
@@ -50,6 +52,52 @@ class TestScenarioRoundTrip:
         original = run_scenario("rip", 4, 2, TINY)
         json.dumps(scenario_to_dict(original))
 
+    def test_monitor_skips_survive(self):
+        original = run_scenario("dbf", 4, 1, TINY)
+        original.monitor_skips = {"counting_to_infinity": "holddown active"}
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.monitor_skips == original.monitor_skips
+
+    def test_loop_report_survives(self):
+        original = run_scenario("dbf", 4, 1, TINY.with_(record_paths=True))
+        assert original.loop_report is not None
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.loop_report == original.loop_report
+
+    def test_full_round_trip_is_lossless(self):
+        original = run_scenario(
+            "dbf", 4, 1, TINY.with_(record_paths=True, validate=True)
+        )
+        first = scenario_to_dict(original)
+        second = scenario_to_dict(scenario_from_dict(first))
+        assert first == second
+
+    def test_empty_expected_final_path_not_collapsed_to_none(self):
+        data = scenario_to_dict(run_scenario("dbf", 4, 1, TINY))
+        data["expected_final_path"] = []
+        restored = scenario_from_dict(data)
+        assert restored.expected_final_path == ()
+        data["expected_final_path"] = None
+        assert scenario_from_dict(data).expected_final_path is None
+
+    def test_empty_reordering_dict_not_collapsed_to_none(self):
+        data = scenario_to_dict(run_scenario("dbf", 4, 1, TINY))
+        data["reordering"] = {
+            "delivered": 0, "late_packets": 0,
+            "max_displacement": 0, "episodes": 0,
+        }
+        restored = scenario_from_dict(data)
+        assert restored.reordering is not None
+        assert restored.reordering.delivered == 0
+
+
+class TestFailureRoundTrip:
+    def test_failure_survives(self):
+        failure = SweepFailure(
+            protocol="dbf", degree=4, seed=7, error="ValueError: boom"
+        )
+        assert failure_from_dict(failure_to_dict(failure)) == failure
+
 
 class TestSweepFiles:
     def test_save_load_round_trip(self, tmp_path):
@@ -69,11 +117,74 @@ class TestSweepFiles:
                 == points[key].mean_throughput().values
             )
 
+    def test_point_failures_survive(self, tmp_path):
+        point = run_point("dbf", 4, TINY)
+        point.failures.append(
+            SweepFailure(protocol="dbf", degree=4, seed=99, error="timed out")
+        )
+        path = tmp_path / "sweep.json"
+        save_points({("dbf", 4): point}, str(path))
+        loaded = load_points(str(path))
+        assert loaded[("dbf", 4)].failures == point.failures
+
+    def test_save_load_save_is_byte_identical(self, tmp_path):
+        cfg = TINY.with_(record_paths=True, validate=True)
+        point = run_point("dbf", 4, cfg)
+        point.failures.append(
+            SweepFailure(protocol="dbf", degree=4, seed=99, error="crash")
+        )
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        save_points({("dbf", 4): point}, str(first))
+        save_points(load_points(str(first)), str(second))
+        assert first.read_bytes() == second.read_bytes()
+
     def test_unsupported_version_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"format_version": 999, "points": []}))
         with pytest.raises(ValueError):
             load_points(str(path))
+
+    def test_v1_file_still_loads(self, tmp_path):
+        """Back-compat: a v1 results file (no failures/monitor_skips/
+        loop_report fields) loads, with the missing fields defaulted."""
+        run = run_scenario("dbf", 4, 1, TINY)
+        v1_run = scenario_to_dict(run)
+        # v1 writers never emitted these keys.
+        for key in ("monitor_skips", "loop_report"):
+            del v1_run[key]
+        payload = {
+            "format_version": 1,
+            "points": [{"protocol": "dbf", "degree": 4, "runs": [v1_run]}],
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_points(str(path))
+        point = loaded[("dbf", 4)]
+        assert point.n_runs == 1
+        assert point.failures == []
+        restored = point.runs[0]
+        assert restored.monitor_skips == {}
+        assert restored.loop_report is None
+        assert restored.delivered == run.delivered
+        assert restored.throughput.values == run.throughput.values
+
+    def test_v1_resave_upgrades_to_v2(self, tmp_path):
+        run = run_scenario("dbf", 4, 1, TINY)
+        v1_run = scenario_to_dict(run)
+        for key in ("monitor_skips", "loop_report"):
+            del v1_run[key]
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps({
+            "format_version": 1,
+            "points": [{"protocol": "dbf", "degree": 4, "runs": [v1_run]}],
+        }))
+        v2 = tmp_path / "v2.json"
+        save_points(load_points(str(v1)), str(v2))
+        payload = json.loads(v2.read_text())
+        assert payload["format_version"] == 2
+        assert payload["points"][0]["failures"] == []
+        assert payload["points"][0]["runs"][0]["monitor_skips"] == {}
 
     def test_file_is_human_readable_json(self, tmp_path):
         points = {("dbf", 4): run_point("dbf", 4, TINY.with_(runs=1))}

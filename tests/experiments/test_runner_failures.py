@@ -54,13 +54,34 @@ class TestSweepFailureCapture:
         assert serial == parallel
 
 
-class TestRunPointErrors:
-    def test_serial_error_names_the_seed(self):
+class TestRunPointFailures:
+    """run_point matches run_sweep: failures are recorded, not raised —
+    unless ``strict=True`` restores the old fail-fast behavior."""
+
+    def test_serial_records_failures_and_continues(self):
+        cfg = TINY.with_(runs=2)
+        point = run_point("dbf", BAD_DEGREE, cfg)
+        assert point.n_runs == 0
+        assert [f.seed for f in point.failures] == [cfg.seed, cfg.seed + 1]
+
+    def test_parallel_records_failures_and_continues(self):
+        cfg = TINY.with_(runs=2)
+        point = run_point("dbf", BAD_DEGREE, cfg, workers=2)
+        assert point.n_runs == 0
+        assert [f.seed for f in point.failures] == [cfg.seed, cfg.seed + 1]
+
+    def test_serial_and_parallel_record_identical_failures(self):
+        cfg = TINY.with_(runs=2)
+        serial = run_point("dbf", BAD_DEGREE, cfg).failures
+        parallel = run_point("dbf", BAD_DEGREE, cfg, workers=2).failures
+        assert serial == parallel
+
+    def test_serial_strict_error_names_the_seed(self):
         cfg = TINY.with_(runs=1)
         with pytest.raises(RuntimeError, match=rf"seed {cfg.seed} "):
-            run_point("dbf", BAD_DEGREE, cfg)
+            run_point("dbf", BAD_DEGREE, cfg, strict=True)
 
-    def test_parallel_error_names_the_seed(self):
+    def test_parallel_strict_error_names_the_seed(self):
         cfg = TINY.with_(runs=2)
         with pytest.raises(RuntimeError, match=rf"seed={cfg.seed}"):
-            run_point("dbf", BAD_DEGREE, cfg, workers=2)
+            run_point("dbf", BAD_DEGREE, cfg, workers=2, strict=True)

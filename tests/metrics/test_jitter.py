@@ -33,6 +33,23 @@ class TestJitterSeries:
         assert series.values[0] == pytest.approx(0.2)  # the step
         assert series.values[1] == pytest.approx(0.0)  # steady again
 
+    def test_pair_with_prev_before_window_excluded(self):
+        # The pair (t=-0.5 -> t=0.2) straddles the window start; its delay
+        # delta belongs to the pre-window flow and must not leak into bin 0.
+        d = deliveries([(-0.5, 0.5), (0.2, 0.05), (0.6, 0.05)])
+        series = jitter_series(d, start=0.0, stop=1.0)
+        assert series.values == (0.0,)
+
+    def test_pair_with_cur_after_window_excluded(self):
+        d = deliveries([(0.1, 0.05), (1.5, 0.9)])
+        series = jitter_series(d, start=0.0, stop=1.0)
+        assert series.values == (0.0,)
+
+    def test_in_window_pairs_still_counted_after_edge_fix(self):
+        d = deliveries([(-0.5, 0.5), (0.2, 0.05), (0.7, 0.15)])
+        series = jitter_series(d, start=0.0, stop=1.0)
+        assert series.values[0] == pytest.approx(0.1)  # only 0.2 -> 0.7
+
     def test_unsorted_input_tolerated(self):
         d = deliveries([(0.9, 0.2), (0.1, 0.0)])
         series = jitter_series(d, start=0.0, stop=1.0)

@@ -7,6 +7,7 @@ from hypothesis import given, strategies as st
 
 from repro.metrics.timeseries import (
     BinnedSeries,
+    _bins,
     average_series,
     delay_series,
     throughput_series,
@@ -49,6 +50,29 @@ class TestThroughputSeries:
     def test_property_total_preserved(self, times):
         series = throughput_series(deliveries_at(times), start=0.0, stop=10.0)
         assert sum(series.values) == pytest.approx(len(times))
+
+
+class TestBins:
+    def test_edges_are_exact_multiples(self):
+        # A running t += width accumulates float error; edges must be the
+        # exact start + i*width each delivery's bin index is computed from.
+        edges = _bins(0.0, 70.0, 0.1)
+        assert len(edges) == 700
+        for i, edge in enumerate(edges):
+            assert edge == 0.0 + i * 0.1
+
+    def test_no_spurious_final_bin_from_drift(self):
+        # 0.1 is not exactly representable; 700 accumulated additions used
+        # to land the last edge just below stop, creating an extra bin.
+        assert len(_bins(0.0, 7.0, 0.1)) == 70
+        assert len(_bins(0.0, 1.0, 0.1)) == 10
+
+    def test_binning_consistent_with_index_formula(self):
+        # A delivery exactly on a late bin edge must land in that bin.
+        edges = _bins(0.0, 50.0, 0.1)
+        t = edges[333]
+        idx = int((t - 0.0) / 0.1)
+        assert edges[idx] <= t < edges[idx] + 0.1
 
 
 class TestDelaySeries:
