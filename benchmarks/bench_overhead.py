@@ -1,18 +1,36 @@
-"""Routing-message overhead during convergence (related work [28]'s metric).
+"""Overhead benchmarks: routing-message overhead and observability overhead.
 
-RIP/DBF pay a steady periodic-update tax plus triggered bursts; BGP variants
-send only on change, so their counts isolate the convergence traffic itself.
+Two unrelated "overheads" live here:
+
+* the paper's routing-message overhead during convergence (related work
+  [28]'s metric) as a pytest benchmark — RIP/DBF pay a steady
+  periodic-update tax plus triggered bursts; BGP variants send only on
+  change, so their counts isolate the convergence traffic itself;
+* the cost of the :mod:`repro.obs` observability layer itself, as a script
+  harness: one DBF scenario timed with observation off (the default path)
+  and with a full :class:`~repro.obs.RunObservation` attached.  The delta is
+  the price of profiling a run; the budget is a few percent::
+
+      PYTHONPATH=src python benchmarks/bench_overhead.py --json BENCH_obs.json
+      PYTHONPATH=src python benchmarks/bench_overhead.py --smoke
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import overhead_sweep
 from repro.experiments.report import format_sweep_table
-
-from conftest import run_once
+from repro.experiments.scenario import run_scenario
 
 
 def test_overhead_sweep(benchmark, config):
+    from conftest import run_once
+
     table = run_once(benchmark, overhead_sweep, config)
     print("\n" + format_sweep_table(table, precision=0))
     for degree in config.degrees:
@@ -22,3 +40,75 @@ def test_overhead_sweep(benchmark, config):
     assert table.value("rip", max(config.degrees)) > table.value(
         "rip", min(config.degrees)
     ) * 0.5  # sanity: same order of magnitude
+
+
+# ------------------------------------------------------------ script harness
+
+
+def _best_scenario_seconds(
+    post_fail_window: float, repeat: int, observed: bool
+) -> float:
+    """Best-of-N wall seconds for one DBF scenario, with/without observation."""
+    from repro.obs import RunObservation
+
+    cfg = ExperimentConfig.quick().with_(runs=1, post_fail_window=post_fail_window)
+    best = None
+    for _ in range(max(1, repeat)):
+        obs = RunObservation() if observed else None
+        started = time.perf_counter()
+        result = run_scenario("dbf", 4, 1, cfg, obs=obs)
+        elapsed = time.perf_counter() - started
+        assert result.delivered > 0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="observability-layer overhead on one DBF scenario"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload: a CI sanity check, not a measurement",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--repeat", type=int, default=5, help="repeats per variant (best kept)"
+    )
+    args = parser.parse_args(argv)
+
+    window = 4.0 if args.smoke else 40.0
+    baseline_s = _best_scenario_seconds(window, args.repeat, observed=False)
+    observed_s = _best_scenario_seconds(window, args.repeat, observed=True)
+    overhead_pct = (observed_s - baseline_s) / baseline_s * 100.0
+
+    print(f"{'baseline (obs off)':>20}: {baseline_s:.4f} s")
+    print(f"{'observed (obs on)':>20}: {observed_s:.4f} s")
+    print(f"{'overhead':>20}: {overhead_pct:+.2f} %")
+
+    if args.json:
+        payload = {
+            "meta": {"smoke": args.smoke, "repeat": args.repeat,
+                     "post_fail_window_s": window},
+            "benchmarks": {
+                "scenario_obs_off": {
+                    "value": baseline_s, "unit": "s", "higher_is_better": False,
+                },
+                "scenario_obs_on": {
+                    "value": observed_s, "unit": "s", "higher_is_better": False,
+                },
+                "obs_overhead_pct": {
+                    "value": overhead_pct, "unit": "%", "higher_is_better": False,
+                },
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Exposes the experiment harness without writing Python::
     python -m repro sweep --checkpoint runs/ --resume      # continue after a kill
     python -m repro topology --degree 5       # inspect a mesh
     python -m repro validate --seeds 25       # fuzzer + differential oracle
+    python -m repro profile --out prof.json   # phase/metric/sweep telemetry
 
 Use ``--paper-scale`` for the full 10-seed configuration; the default is the
 reduced quick profile.
@@ -125,6 +126,35 @@ def build_parser() -> argparse.ArgumentParser:
     val_p.add_argument(
         "--skip-oracle", action="store_true",
         help="fuzz only; skip the differential oracle pass",
+    )
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile one scenario (and optionally a mini sweep): phase "
+             "wall times, metric registry snapshot, sweep telemetry",
+    )
+    prof_p.add_argument("--protocol", choices=PROTOCOL_NAMES, default="dbf")
+    prof_p.add_argument("--degree", type=int, default=4)
+    prof_p.add_argument("--seed", type=int, default=1)
+    prof_p.add_argument(
+        "--out", metavar="FILE", help="write the JSON report here"
+    )
+    prof_p.add_argument(
+        "--memory", action="store_true",
+        help="also record tracemalloc peaks per phase (slower)",
+    )
+    prof_p.add_argument(
+        "--sweep-seeds", type=int, default=0, metavar="N",
+        help="also run an N-seed sweep of the same point and report its "
+             "execution telemetry (per-seed runtime, worker utilisation)",
+    )
+    prof_p.add_argument(
+        "--workers", type=int, default=1,
+        help="process pool size for the telemetry sweep",
+    )
+    prof_p.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed workload + schema self-check (CI smoke)",
     )
 
     narrate_p = sub.add_parser(
@@ -410,6 +440,69 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import RunObservation, SweepTelemetry
+    from .obs.report import build_report, check_report, format_report
+
+    config = _config(args)
+    sweep_seeds = args.sweep_seeds
+    if args.smoke:
+        config = config.with_(runs=1, post_fail_window=30.0)
+        sweep_seeds = sweep_seeds or 2
+
+    obs = RunObservation(trace_memory=args.memory)
+    result = run_scenario(args.protocol, args.degree, args.seed, config, obs=obs)
+
+    sweep = None
+    if sweep_seeds:
+        telemetry = SweepTelemetry()
+        run_sweep(
+            config.with_(
+                protocols=(args.protocol,),
+                degrees=(args.degree,),
+                runs=sweep_seeds,
+            ),
+            workers=args.workers,
+            telemetry=telemetry,
+        )
+        sweep = telemetry.to_dict()
+
+    report = build_report(
+        scenario={
+            "protocol": result.protocol,
+            "degree": result.degree,
+            "seed": result.seed,
+            "sent": result.sent,
+            "delivered": result.delivered,
+            "total_drops": result.total_drops,
+            "forwarding_convergence_s": result.forwarding_convergence,
+            "routing_convergence_s": result.routing_convergence,
+        },
+        observation=obs.to_dict(),
+        sweep=sweep,
+        meta={
+            "profile": "paper" if args.paper_scale else "quick",
+            "smoke": bool(args.smoke),
+            "memory": bool(args.memory),
+        },
+    )
+    problems = check_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"report written to {args.out}\n")
+    print(format_report(report))
+    if problems:
+        print("\nreport failed its schema self-check:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.campaign import reproduce
 
@@ -435,6 +528,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "narrate": _cmd_narrate,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -18,6 +18,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.profiler import NULL_PROFILER
 from .config import ExperimentConfig
 from .figures import (
     figure2_topologies,
@@ -64,6 +65,8 @@ def reproduce(
     progress: bool = False,
     workers: int = 1,
     checkpoint_dir: Optional[str] = None,
+    profiler=None,
+    telemetry=None,
 ) -> CampaignReport:
     """Run the full figure suite and write all artifacts to ``out_dir``.
 
@@ -72,8 +75,14 @@ def reproduce(
     a shard store there, and an interrupted campaign resumes the sweep from
     the shards instead of re-simulating.  ``workers`` parallelizes that
     sweep over a supervised process pool.
+
+    ``profiler`` (a :class:`repro.obs.profiler.PhaseProfiler`) gets one span
+    per figure so slow campaigns can be broken down by phase; ``telemetry``
+    (a :class:`repro.obs.sweeps.SweepTelemetry`) collects per-seed execution
+    telemetry from the Figure 6 sweep.
     """
     config = config or ExperimentConfig.quick()
+    profiler = profiler if profiler is not None else NULL_PROFILER
     os.makedirs(out_dir, exist_ok=True)
     report = CampaignReport(out_dir=out_dir, config=config)
 
@@ -82,88 +91,104 @@ def reproduce(
             print(msg)
 
     log("Figure 2: topology family ...")
-    topo_info = figure2_topologies(config.rows, config.cols, (4, 5, 6))
-    lines = ["Figure 2: regular mesh family", ""]
-    for degree, info in sorted(topo_info.items()):
-        lines.append(
-            f"degree {degree}: {info['n_nodes']} nodes, {info['n_links']} links, "
-            f"histogram {sorted(info['degree_histogram'].items())}"
-        )
-    _write(report, "figure2_topologies.txt", "\n".join(lines))
+    with profiler.span("figure2_topologies"):
+        topo_info = figure2_topologies(config.rows, config.cols, (4, 5, 6))
+        lines = ["Figure 2: regular mesh family", ""]
+        for degree, info in sorted(topo_info.items()):
+            lines.append(
+                f"degree {degree}: {info['n_nodes']} nodes, {info['n_links']} links, "
+                f"histogram {sorted(info['degree_histogram'].items())}"
+            )
+        _write(report, "figure2_topologies.txt", "\n".join(lines))
 
     log("Figure 3: drops vs degree ...")
-    fig3 = figure3_drops_no_route(config)
-    _write(report, "figure3_drops.txt", format_sweep_table(fig3))
-    save_svg(sweep_chart(fig3, ylabel="packet drops (no route)"),
-             report.path("figure3_drops.svg"))
-    report.artifacts.append("figure3_drops.svg")
+    with profiler.span("figure3_drops"):
+        fig3 = figure3_drops_no_route(config)
+        _write(report, "figure3_drops.txt", format_sweep_table(fig3))
+        save_svg(sweep_chart(fig3, ylabel="packet drops (no route)"),
+                 report.path("figure3_drops.svg"))
+        report.artifacts.append("figure3_drops.svg")
 
     log("Figure 4: TTL expirations vs degree ...")
-    fig4 = figure4_ttl_expirations(config)
-    _write(report, "figure4_ttl.txt", format_sweep_table(fig4))
-    save_svg(sweep_chart(fig4, ylabel="TTL expirations"),
-             report.path("figure4_ttl.svg"))
-    report.artifacts.append("figure4_ttl.svg")
+    with profiler.span("figure4_ttl"):
+        fig4 = figure4_ttl_expirations(config)
+        _write(report, "figure4_ttl.txt", format_sweep_table(fig4))
+        save_svg(sweep_chart(fig4, ylabel="TTL expirations"),
+                 report.path("figure4_ttl.svg"))
+        report.artifacts.append("figure4_ttl.svg")
 
     log("Figure 5: throughput vs time ...")
-    degrees5 = tuple(d for d in (3, 4, 6) if d in config.degrees) or config.degrees[:1]
-    fig5 = figure5_throughput(config, degrees5)
-    _write(
-        report,
-        "figure5_throughput.txt",
-        format_series_grid(
-            fig5, "Figure 5: instantaneous throughput (pkt/s), failure at t=0",
-            t_min=-5, t_max=min(50.0, config.post_fail_window - 10), step=5,
-        ),
-    )
-    save_svg(
-        series_chart(fig5, "Figure 5: instantaneous throughput", "packets/second",
-                     t_min=-5, t_max=50),
-        report.path("figure5_throughput.svg"),
-    )
-    report.artifacts.append("figure5_throughput.svg")
+    with profiler.span("figure5_throughput"):
+        degrees5 = (
+            tuple(d for d in (3, 4, 6) if d in config.degrees) or config.degrees[:1]
+        )
+        fig5 = figure5_throughput(config, degrees5)
+        _write(
+            report,
+            "figure5_throughput.txt",
+            format_series_grid(
+                fig5, "Figure 5: instantaneous throughput (pkt/s), failure at t=0",
+                t_min=-5, t_max=min(50.0, config.post_fail_window - 10), step=5,
+            ),
+        )
+        save_svg(
+            series_chart(fig5, "Figure 5: instantaneous throughput",
+                         "packets/second", t_min=-5, t_max=50),
+            report.path("figure5_throughput.svg"),
+        )
+        report.artifacts.append("figure5_throughput.svg")
 
     log("Figure 6: convergence vs degree ...")
-    sweep_points = run_sweep(config, workers=workers, store=checkpoint_dir)
-    fwd, rt = figure6_convergence(config, points=sweep_points)
-    _write(
-        report,
-        "figure6_convergence.txt",
-        format_sweep_table(fwd, 2) + "\n\n" + format_sweep_table(rt, 2),
-    )
-    save_svg(sweep_chart(fwd, ylabel="seconds"), report.path("figure6a_forwarding.svg"))
-    save_svg(sweep_chart(rt, ylabel="seconds"), report.path("figure6b_routing.svg"))
-    report.artifacts.extend(["figure6a_forwarding.svg", "figure6b_routing.svg"])
-    # Persist the underlying runs once (figure 6 computed a full sweep).
-    save_points(fwd.points, report.path("results.json"))
-    report.artifacts.append("results.json")
+    with profiler.span("figure6_convergence"):
+        sweep_points = run_sweep(
+            config, workers=workers, store=checkpoint_dir, telemetry=telemetry
+        )
+        fwd, rt = figure6_convergence(config, points=sweep_points)
+        _write(
+            report,
+            "figure6_convergence.txt",
+            format_sweep_table(fwd, 2) + "\n\n" + format_sweep_table(rt, 2),
+        )
+        save_svg(sweep_chart(fwd, ylabel="seconds"),
+                 report.path("figure6a_forwarding.svg"))
+        save_svg(sweep_chart(rt, ylabel="seconds"),
+                 report.path("figure6b_routing.svg"))
+        report.artifacts.extend(["figure6a_forwarding.svg", "figure6b_routing.svg"])
+        # Persist the underlying runs once (figure 6 computed a full sweep).
+        save_points(fwd.points, report.path("results.json"))
+        report.artifacts.append("results.json")
 
     log("Figure 7: delay vs time ...")
-    degrees7 = tuple(d for d in (4, 5, 6) if d in config.degrees) or config.degrees[:1]
-    fig7 = figure7_delay(config, degrees7)
-    _write(
-        report,
-        "figure7_delay.txt",
-        format_series_grid(
-            fig7, "Figure 7: instantaneous packet delay (s), failure at t=0",
-            t_min=-5, t_max=min(50.0, config.post_fail_window - 10), step=5,
-            precision=4,
-        ),
-    )
-    save_svg(
-        series_chart(fig7, "Figure 7: instantaneous packet delay", "seconds",
-                     t_min=-5, t_max=50),
-        report.path("figure7_delay.svg"),
-    )
-    report.artifacts.append("figure7_delay.svg")
+    with profiler.span("figure7_delay"):
+        degrees7 = (
+            tuple(d for d in (4, 5, 6) if d in config.degrees) or config.degrees[:1]
+        )
+        fig7 = figure7_delay(config, degrees7)
+        _write(
+            report,
+            "figure7_delay.txt",
+            format_series_grid(
+                fig7, "Figure 7: instantaneous packet delay (s), failure at t=0",
+                t_min=-5, t_max=min(50.0, config.post_fail_window - 10), step=5,
+                precision=4,
+            ),
+        )
+        save_svg(
+            series_chart(fig7, "Figure 7: instantaneous packet delay", "seconds",
+                         t_min=-5, t_max=50),
+            report.path("figure7_delay.svg"),
+        )
+        report.artifacts.append("figure7_delay.svg")
 
     log("Headline: BGP vs BGP-3 ...")
-    headline_degree = 5 if 5 in config.degrees else config.degrees[-1]
-    report.headline = headline_bgp_vs_bgp3(config, degree=headline_degree)
+    with profiler.span("headline"):
+        headline_degree = 5 if 5 in config.degrees else config.degrees[-1]
+        report.headline = headline_bgp_vs_bgp3(config, degree=headline_degree)
 
     log("Validating the paper's Observations against the sweep ...")
-    checks = validate_observations(fwd.points)
-    _write(report, "validation.txt", format_checks(checks))
+    with profiler.span("validation"):
+        checks = validate_observations(fwd.points)
+        _write(report, "validation.txt", format_checks(checks))
 
     summary = [
         "# Reproduction report",

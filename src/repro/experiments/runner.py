@@ -46,6 +46,9 @@ __all__ = ["PointResult", "SweepFailure", "run_point", "run_sweep"]
 Task = tuple[str, int, int]
 #: What a completed task produced.
 Outcome = Union[ScenarioResult, "SweepFailure"]
+#: Per-task timing callback: (protocol, degree, seed, ok, elapsed_s,
+#: attempts, timed_out).  See :class:`repro.obs.sweeps.SweepTelemetry`.
+TimingCallback = Callable[[str, int, int, bool, Optional[float], int, bool], None]
 
 #: Ceiling for the exponential retry backoff (seconds).
 _MAX_RETRY_BACKOFF = 5.0
@@ -216,9 +219,11 @@ def _worker_main(task_q, result_q, config: ExperimentConfig, parent_pid: int) ->
             return
         protocol, degree, seed = task
         _fault_injection(protocol, degree, seed)
+        started = time.perf_counter()
         outcome = _run_task(protocol, degree, seed, config)
+        elapsed = time.perf_counter() - started
         try:
-            result_q.put((protocol, degree, seed, outcome))
+            result_q.put((protocol, degree, seed, outcome, elapsed))
         except Exception:
             return  # supervisor is gone; nothing left to report to
 
@@ -243,11 +248,15 @@ def _execute_supervised(
     retries: int,
     retry_backoff: float,
     on_outcome: Callable[[Task, Outcome], None],
+    on_timing: Optional[TimingCallback] = None,
 ) -> None:
     """Run ``tasks`` on a supervised pool, reporting each outcome as it lands.
 
     ``on_outcome`` is called exactly once per task, in completion order —
-    this is where the sweep store appends its shard records.  Deadline and
+    this is where the sweep store appends its shard records.  ``on_timing``
+    (if given) is called right after it with the task's in-worker wall time
+    (``None`` when the worker died or timed out before reporting), attempt
+    count, and whether the task hit the wall-clock timeout.  Deadline and
     liveness checks run every ``_SUPERVISOR_TICK`` seconds between result
     arrivals.
 
@@ -293,10 +302,23 @@ def _execute_supervised(
         worker.task_q.cancel_join_thread()
         worker.task_q.close()
 
-    def record(task: Task, outcome: Outcome) -> None:
+    def record(
+        task: Task,
+        outcome: Outcome,
+        elapsed: Optional[float],
+        timed_out: bool = False,
+    ) -> None:
         if task not in done:
             done.add(task)
             on_outcome(task, outcome)
+            if on_timing is not None:
+                on_timing(
+                    *task,
+                    not isinstance(outcome, SweepFailure),
+                    elapsed,
+                    attempts.get(task, 0) + 1,
+                    timed_out,
+                )
 
     pool = [spawn() for _ in range(n_workers)]
 
@@ -331,7 +353,7 @@ def _execute_supervised(
                     worker.task_q.put(worker.task)
             # Collect one result; the short tick keeps health checks live.
             try:
-                protocol, degree, seed, outcome = result_q.get(
+                protocol, degree, seed, outcome, elapsed = result_q.get(
                     timeout=_SUPERVISOR_TICK
                 )
             except queue_mod.Empty:
@@ -342,7 +364,7 @@ def _execute_supervised(
                     if worker.task == task:
                         worker.task = None
                         break
-                record(task, outcome)
+                record(task, outcome, elapsed)
                 continue
             # Health checks: deadlines first, then liveness.  Any abrupt
             # death or deadline kill invalidates the pool, so handle one
@@ -365,6 +387,8 @@ def _execute_supervised(
                                 "timeout; worker terminated"
                             ),
                         ),
+                        None,
+                        timed_out=True,
                     )
                     rebuild()
                     break
@@ -388,6 +412,7 @@ def _execute_supervised(
                                     f"{n} attempt(s)"
                                 ),
                             ),
+                            None,
                         )
                     rebuild()
                     break
@@ -500,6 +525,7 @@ def run_sweep(
     retries: int = 1,
     retry_backoff: float = 0.5,
     progress: Optional[Callable[[int, int, str], None]] = None,
+    telemetry=None,
 ) -> dict[tuple[str, int], PointResult]:
     """Full (protocol x degree) sweep; keys are (protocol, degree).
 
@@ -524,6 +550,12 @@ def run_sweep(
     retried up to ``retries`` times with exponential backoff starting at
     ``retry_backoff`` seconds.  ``progress(completed, total, message)`` is
     invoked after every task.
+
+    Telemetry: pass ``telemetry`` (a :class:`repro.obs.sweeps.SweepTelemetry`)
+    to collect per-seed wall times, worker utilisation, and fault counts.
+    With a store attached, each seed's timing is also appended to the shard
+    log as a ``{"kind": "telemetry"}`` record; result loading skips those, so
+    telemetry never perturbs resumed-sweep identity.
     """
     config = config or ExperimentConfig.quick()
     grid = config.grid()
@@ -540,6 +572,13 @@ def run_sweep(
         outcomes = {}
         todo = list(grid)
 
+    if telemetry is not None:
+        telemetry.begin(
+            workers=workers,
+            total_tasks=len(grid),
+            resumed_tasks=len(grid) - len(todo),
+        )
+
     def on_outcome(task: Task, outcome: Outcome) -> None:
         outcomes[task] = outcome
         if store is not None:
@@ -552,23 +591,51 @@ def run_sweep(
                 f"{task[0]} degree={task[1]} seed={task[2]}: {label}",
             )
 
+    def on_timing(
+        protocol: str,
+        degree: int,
+        seed: int,
+        ok: bool,
+        elapsed_s: Optional[float],
+        attempts: int = 1,
+        timed_out: bool = False,
+    ) -> None:
+        if telemetry is None:
+            return
+        timing = telemetry.record(
+            protocol, degree, seed, ok, elapsed_s, attempts, timed_out
+        )
+        if store is not None:
+            store.append_telemetry(timing.to_dict())
+
     try:
         if todo:
             if workers <= 1 and timeout is None:
                 for task in todo:
-                    on_outcome(task, _run_task(*task, config))
+                    started = time.perf_counter()
+                    outcome = _run_task(*task, config)
+                    elapsed = time.perf_counter() - started
+                    on_outcome(task, outcome)
+                    on_timing(
+                        *task, not isinstance(outcome, SweepFailure), elapsed
+                    )
             else:
                 _execute_supervised(
                     todo, config, workers, timeout, retries, retry_backoff,
                     on_outcome,
+                    on_timing=None if telemetry is None else on_timing,
                 )
     except (KeyboardInterrupt, SystemExit):
         # Graceful interrupt: everything already completed is flushed (and
         # fsynced) before the exception propagates, so a Ctrl-C'd sweep
         # resumes exactly where it stopped.
+        if telemetry is not None:
+            telemetry.end()
         if store is not None:
             store.close()
         raise
+    if telemetry is not None:
+        telemetry.end()
     if store is not None:
         store.close()
     return _assemble(grid, outcomes, config)

@@ -21,6 +21,7 @@ from ..metrics.timeseries import BinnedSeries, delay_series, throughput_series
 from ..net.failure import FailureInjector
 from ..net.network import Network
 from ..net.node import Node
+from ..obs.profiler import NULL_PROFILER
 from ..routing.bgp import BgpConfig, BgpProtocol
 from ..routing.damping import DampingConfig
 from ..routing.dbf import DbfProtocol
@@ -196,6 +197,7 @@ def run_scenario(
     seed: int,
     config: Optional[ExperimentConfig] = None,
     monitors: Optional[object] = None,
+    obs: Optional[object] = None,
 ) -> ScenarioResult:
     """Run one complete experiment and return all measurements.
 
@@ -203,51 +205,64 @@ def run_scenario(
     attach to the run; with ``config.validate`` set a default suite is
     created automatically.  Monitor findings land on
     ``ScenarioResult.violations``.
+
+    ``obs`` is an optional :class:`repro.obs.RunObservation`: its profiler
+    receives the phase spans (setup / warmup / steady / failure /
+    convergence / drain) and its registry the run's metrics.  Observation is
+    read-only — it never touches simulated time or RNG streams — so results
+    are bit-identical with and without it (pinned by the golden on/off test).
     """
     config = config or ExperimentConfig.quick()
     if monitors is None and config.validate:
         from ..validation.monitors import MonitorSuite
 
         monitors = MonitorSuite()
+    profiler = obs.profiler if obs is not None else NULL_PROFILER
     rng_streams = RngStreams(seed)
     scenario_rng = rng_streams.stream("scenario")
 
-    # --- topology with sender/receiver hosts attached -----------------------
-    topo = regular_mesh(config.rows, config.cols, degree)
-    sender_router, receiver_router = _pick_endpoints(scenario_rng, config.rows, config.cols)
-    sender = attach_host(topo, sender_router)
-    receiver = attach_host(topo, receiver_router)
+    with profiler.span("setup"):
+        # --- topology with sender/receiver hosts attached -------------------
+        topo = regular_mesh(config.rows, config.cols, degree)
+        sender_router, receiver_router = _pick_endpoints(
+            scenario_rng, config.rows, config.cols
+        )
+        sender = attach_host(topo, sender_router)
+        receiver = attach_host(topo, receiver_router)
 
-    pre_path = topo.shortest_path(sender, receiver)
-    assert pre_path is not None, "mesh must be connected"
-    failed = _pick_failed_link(scenario_rng, pre_path, sender, receiver)
-    expected_final = topo.shortest_path(sender, receiver, exclude_link=failed)
+        pre_path = topo.shortest_path(sender, receiver)
+        assert pre_path is not None, "mesh must be connected"
+        failed = _pick_failed_link(scenario_rng, pre_path, sender, receiver)
+        expected_final = topo.shortest_path(sender, receiver, exclude_link=failed)
 
-    # --- live network --------------------------------------------------------
-    sim = Simulator()
-    bus = TraceBus(keep_routes=False)
-    network = Network(
-        sim,
-        topo,
-        bus,
-        queue_capacity=config.queue_capacity,
-        record_paths=config.record_paths,
-        # Monitors want the hop-by-hop TTL view.
-        record_forwards=monitors is not None,
-        priority_control=config.prioritize_control,
-    )
-    factory = make_protocol_factory(protocol, network, rng_streams, topo, config)
-    network.attach_protocols(factory)
+        # --- live network ----------------------------------------------------
+        sim = Simulator()
+        bus = TraceBus(keep_routes=False)
+        if obs is not None:
+            obs.attach(bus)
+        network = Network(
+            sim,
+            topo,
+            bus,
+            queue_capacity=config.queue_capacity,
+            record_paths=config.record_paths,
+            # Monitors want the hop-by-hop TTL view.
+            record_forwards=monitors is not None,
+            priority_control=config.prioritize_control,
+        )
+        factory = make_protocol_factory(protocol, network, rng_streams, topo, config)
+        network.attach_protocols(factory)
 
-    base = 0.0
-    if config.cold_start:
-        network.start_protocols()
-        sim.run(until=config.cold_warmup)
-        base = config.cold_warmup
-    else:
-        for node in network.iter_nodes():
-            assert node.protocol is not None
-            node.protocol.warm_start(topo)
+    with profiler.span("warmup", sim=sim):
+        base = 0.0
+        if config.cold_start:
+            network.start_protocols()
+            sim.run(until=config.cold_warmup)
+            base = config.cold_warmup
+        else:
+            for node in network.iter_nodes():
+                assert node.protocol is not None
+                node.protocol.warm_start(topo)
 
     traffic_start = base + config.traffic_start
     fail_at = base + config.fail_time
@@ -302,41 +317,59 @@ def run_scenario(
         )
 
     # --- run ------------------------------------------------------------------
-    sim.run(until=end_at)
+    # The run is split at the same instants whether observed or not: repeated
+    # ``run(until=...)`` calls form one contiguous timeline, so the event
+    # order is identical to a single ``run(until=end_at)`` (the golden on/off
+    # test pins this).
+    with profiler.span("steady", sim=sim):
+        sim.run(until=min(fail_at, end_at))
+    with profiler.span("failure", sim=sim):
+        sim.run(until=min(detect_at, end_at))
+    with profiler.span("convergence", sim=sim):
+        sim.run(until=end_at)
 
-    deliveries = sink.stats.deliveries
-    result = ScenarioResult(
-        protocol=protocol,
-        degree=degree,
-        seed=seed,
-        sender=sender,
-        receiver=receiver,
-        failed_link=failed,
-        pre_failure_path=tuple(pre_path),
-        expected_final_path=tuple(expected_final) if expected_final else None,
-        sent=source.sent,
-        delivered=sink.stats.delivered,
-        drops_no_route=drop_counter.no_route,
-        drops_ttl=drop_counter.ttl_expired,
-        drops_link_down=drop_counter.link_down,
-        drops_queue=drop_counter.queue_overflow,
-        routing_convergence=net_watcher.convergence_time(detect_at),
-        destination_convergence=tracker.routing_convergence_time(detect_at),
-        forwarding_convergence=tracker.forwarding_convergence_delay(detect_at),
-        converged_to_expected=(
-            tracker.converged_to(tuple(expected_final)) if expected_final else False
-        ),
-        transient_path_count=len(tracker.transient_paths(fail_at)),
-        throughput=throughput_series(deliveries, traffic_start, end_at, origin=fail_at),
-        delay=delay_series(deliveries, traffic_start, end_at, origin=fail_at),
-        messages=message_counter.messages,
-        withdrawals=message_counter.withdrawals,
-        reordering=analyze_reordering(deliveries),
-    )
-    if config.record_paths:
-        steady_hops = len(pre_path) - 2  # forwarding hops on the original path
-        result.loop_report = analyze_deliveries(deliveries, shortest_hops=steady_hops)
-    if monitors is not None:
-        result.violations = tuple(str(v) for v in monitors.finalize())
-        result.monitor_skips = dict(monitors.skips)
+    with profiler.span("drain", sim=sim):
+        deliveries = sink.stats.deliveries
+        result = ScenarioResult(
+            protocol=protocol,
+            degree=degree,
+            seed=seed,
+            sender=sender,
+            receiver=receiver,
+            failed_link=failed,
+            pre_failure_path=tuple(pre_path),
+            expected_final_path=tuple(expected_final) if expected_final else None,
+            sent=source.sent,
+            delivered=sink.stats.delivered,
+            drops_no_route=drop_counter.no_route,
+            drops_ttl=drop_counter.ttl_expired,
+            drops_link_down=drop_counter.link_down,
+            drops_queue=drop_counter.queue_overflow,
+            routing_convergence=net_watcher.convergence_time(detect_at),
+            destination_convergence=tracker.routing_convergence_time(detect_at),
+            forwarding_convergence=tracker.forwarding_convergence_delay(detect_at),
+            converged_to_expected=(
+                tracker.converged_to(tuple(expected_final)) if expected_final else False
+            ),
+            transient_path_count=len(tracker.transient_paths(fail_at)),
+            throughput=throughput_series(
+                deliveries, traffic_start, end_at, origin=fail_at
+            ),
+            delay=delay_series(deliveries, traffic_start, end_at, origin=fail_at),
+            messages=message_counter.messages,
+            withdrawals=message_counter.withdrawals,
+            reordering=analyze_reordering(deliveries),
+        )
+        if config.record_paths:
+            steady_hops = len(pre_path) - 2  # forwarding hops on the original path
+            result.loop_report = analyze_deliveries(
+                deliveries, shortest_hops=steady_hops
+            )
+        if monitors is not None:
+            result.violations = tuple(str(v) for v in monitors.finalize())
+            result.monitor_skips = dict(monitors.skips)
+    drop_counter.close()
+    message_counter.close()
+    if obs is not None:
+        obs.finalize(sim=sim, network=network, bus=bus)
     return result

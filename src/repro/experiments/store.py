@@ -199,6 +199,11 @@ class SweepStore:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     break  # torn tail from a crash mid-append
+                if record.get("kind") == "telemetry":
+                    # Execution telemetry rides alongside results but is not
+                    # a result: skipping it keeps resumed sweeps bit-identical
+                    # to uninterrupted ones.
+                    continue
                 outcome = self._decode(record)
                 out.setdefault(_outcome_key(outcome), outcome)
         return out
@@ -218,6 +223,37 @@ class SweepStore:
             record = {"kind": "failure", "failure": failure_to_dict(outcome)}
         else:
             record = {"kind": "run", "run": scenario_to_dict(outcome)}
+        self._append_record(record)
+
+    def append_telemetry(self, timing: dict) -> None:
+        """Durably record one seed's execution telemetry.
+
+        Telemetry records (``{"kind": "telemetry", ...}``) share the shard
+        log with results but are invisible to :meth:`load_outcomes`; they
+        describe how the sweep *ran* (wall time, retries, timeouts), not what
+        it computed.
+        """
+        self._append_record({"kind": "telemetry", "telemetry": timing})
+
+    def load_telemetry(self) -> list[dict]:
+        """All per-seed telemetry records, in append order."""
+        out: list[dict] = []
+        if not os.path.exists(self.shards_path):
+            return out
+        with open(self.shards_path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a crash mid-append
+                if record.get("kind") == "telemetry":
+                    out.append(record["telemetry"])
+        return out
+
+    def _append_record(self, record: dict) -> None:
         if self._shard_file is None:
             self._shard_file = open(self.shards_path, "a", encoding="utf-8")
         self._shard_file.write(json.dumps(record) + "\n")

@@ -1,4 +1,14 @@
-"""Drop and message counters driven by the trace bus."""
+"""Drop and message counters driven by the trace bus.
+
+Both collectors subscribe on construction and hold a back-reference to the
+bus so they can ``close()`` — i.e. unsubscribe — when their run is over.
+Long campaign processes attach fresh collectors per scenario; without the
+unsubscribe, every dead collector would stay on the bus's handler list,
+keeping the ``wants_*`` guards stuck on (per-packet record allocations
+forever) and growing the dispatch fan-out run after run.  Both collectors
+are context managers; keep using the counts after ``close()`` — only the
+subscription is released.
+"""
 
 from __future__ import annotations
 
@@ -22,6 +32,7 @@ class DropCounter:
         self.window_start = window_start
         self.by_cause: dict[DropCause, int] = {cause: 0 for cause in DropCause}
         self.drop_times: dict[DropCause, list[float]] = {cause: [] for cause in DropCause}
+        self._bus: Optional[TraceBus] = bus
         bus.subscribe("packet", self._on_packet)
 
     def _on_packet(self, record: PacketRecord) -> None:
@@ -31,6 +42,18 @@ class DropCounter:
             return
         self.by_cause[record.cause] += 1
         self.drop_times[record.cause].append(record.time)
+
+    def close(self) -> None:
+        """Unsubscribe from the bus (idempotent); counts remain readable."""
+        if self._bus is not None:
+            self._bus.unsubscribe("packet", self._on_packet)
+            self._bus = None
+
+    def __enter__(self) -> "DropCounter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def no_route(self) -> int:
@@ -54,13 +77,15 @@ class DropCounter:
 
 
 class MessageCounter:
-    """Routing overhead: messages and route entries sent, per protocol."""
+    """Routing overhead: messages, route entries, and bytes sent."""
 
     def __init__(self, bus: TraceBus, window_start: Optional[float] = None) -> None:
         self.window_start = window_start
         self.messages = 0
         self.routes = 0
         self.withdrawals = 0
+        self.bytes_sent = 0
+        self._bus: Optional[TraceBus] = bus
         bus.subscribe("message", self._on_message)
 
     def _on_message(self, record: MessageRecord) -> None:
@@ -68,5 +93,18 @@ class MessageCounter:
             return
         self.messages += 1
         self.routes += record.n_routes
+        self.bytes_sent += record.size_bytes
         if record.is_withdrawal:
             self.withdrawals += 1
+
+    def close(self) -> None:
+        """Unsubscribe from the bus (idempotent); counts remain readable."""
+        if self._bus is not None:
+            self._bus.unsubscribe("message", self._on_message)
+            self._bus = None
+
+    def __enter__(self) -> "MessageCounter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -63,6 +63,7 @@ def _encode(record: Record) -> dict:
             "protocol": record.protocol,
             "n_routes": record.n_routes,
             "is_withdrawal": record.is_withdrawal,
+            "size_bytes": record.size_bytes,
         }
     raise TypeError(f"unknown record type {type(record).__name__}")
 
@@ -102,6 +103,7 @@ def _decode(data: dict) -> Record:
             protocol=data["protocol"],
             n_routes=data["n_routes"],
             is_withdrawal=data["is_withdrawal"],
+            size_bytes=data.get("size_bytes", 0),
         )
     raise ValueError(f"unknown trace record type {kind!r}")
 

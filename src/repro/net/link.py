@@ -244,6 +244,20 @@ class Link:
     def queue_length(self, from_node: int) -> int:
         return len(self._channels[from_node].queue)
 
+    def queue_depth_hwm(self) -> int:
+        """Deepest any of this link's output queues has ever been (packets),
+        control-priority queues included.  Harvested by repro.obs."""
+        hwm = 0
+        for channel in self._channels.values():
+            if channel.queue.depth_hwm > hwm:
+                hwm = channel.queue.depth_hwm
+            if (
+                channel.control_queue is not None
+                and channel.control_queue.depth_hwm > hwm
+            ):
+                hwm = channel.control_queue.depth_hwm
+        return hwm
+
     def occupancy(self, data_only: bool = False) -> int:
         """Packets currently inside the link (both directions): queued,
         serializing, or in flight."""

@@ -25,6 +25,9 @@ class DropTailQueue:
         self._items: deque[Packet] = deque()
         self.enqueued = 0
         self.dropped = 0
+        #: Deepest the queue has ever been (packets); an always-on integer,
+        #: harvested by the observability layer (repro.obs) after the run.
+        self.depth_hwm = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -48,6 +51,8 @@ class DropTailQueue:
             return False
         self._items.append(packet)
         self.enqueued += 1
+        if len(self._items) > self.depth_hwm:
+            self.depth_hwm = len(self._items)
         return True
 
     def pop(self) -> Optional[Packet]:

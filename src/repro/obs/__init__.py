@@ -1,0 +1,51 @@
+"""Runtime observability: metrics registry, phase profiler, sweep telemetry.
+
+The paper's methodology is "measure, then attribute"; this package applies
+the same discipline to the simulator itself so speedups and regressions in
+the engine, the protocols, and the sweep executor can be attributed to a
+phase and a subsystem instead of guessed at.
+
+Three pieces, designed to cost nothing when idle:
+
+* :class:`MetricsRegistry` — typed counters/gauges/histograms harvested from
+  the always-on integer counters (``TraceCounters``, ``EventStats``, queue
+  high-water marks) plus bus-driven per-protocol traffic collectors;
+* :class:`PhaseProfiler` — hierarchical wall-clock spans (setup / warmup /
+  steady / failure / convergence / drain) with optional tracemalloc peaks;
+* :class:`SweepTelemetry` — per-seed runtime, worker utilisation, and
+  timeout/retry counts for :func:`repro.experiments.runner.run_sweep`.
+
+``python -m repro profile`` ties them together into one schema-checked JSON
+report (see :mod:`repro.obs.report` and ``docs/observability.md``).
+"""
+
+from .collect import ProtocolTraffic, RunObservation
+from .profiler import NULL_PROFILER, PhaseProfiler, Span
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    REPORT_KIND,
+    SCHEMA_VERSION,
+    build_report,
+    check_report,
+    format_report,
+)
+from .sweeps import SeedTiming, SweepTelemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "Span",
+    "NULL_PROFILER",
+    "ProtocolTraffic",
+    "RunObservation",
+    "SeedTiming",
+    "SweepTelemetry",
+    "SCHEMA_VERSION",
+    "REPORT_KIND",
+    "build_report",
+    "check_report",
+    "format_report",
+]

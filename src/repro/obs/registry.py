@@ -1,0 +1,236 @@
+"""Typed runtime metrics: counters, gauges, histograms, and their registry.
+
+The paper's evaluation attributes packet loss to *phases* of convergence;
+doing the same for the simulator's own runtime needs typed metrics the
+subsystems can publish into.  A :class:`MetricsRegistry` owns a flat
+namespace of :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+instruments, created lazily by name.
+
+Cost model (mirrors the ``TraceBus.wants_*`` contract): nothing in the hot
+path ever consults a registry.  Producers keep bumping their always-on plain
+integers (``TraceCounters``, ``EventStats``, queue counters); the obs layer
+*subscribes* collectors to the trace bus only when observation is enabled,
+and harvests the integer counters once per run.  A disabled registry is
+therefore never touched — zero allocations, zero attribute loads — which the
+overhead-guard tests in ``tests/obs`` pin.
+
+``self_check`` validates internal consistency (histogram bucket monotonicity,
+bucket-sum/count agreement, non-negative counters) so report corruption —
+whether from a bug or a bad deserialization — is detected rather than
+silently published; the mutation test corrupts a bucket boundary and asserts
+the check reports it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram boundaries for queue-depth style distributions.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-value metric that also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "hwm")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.hwm: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.hwm:
+            self.hwm = value
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value, "hwm": self.hwm}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value}, hwm={self.hwm})"
+
+
+class Histogram:
+    """Cumulative-free bucketed distribution.
+
+    ``bounds`` are the strictly increasing upper edges of the finite
+    buckets; ``counts`` has ``len(bounds) + 1`` entries, the last being the
+    overflow bucket (observations above every bound).  ``observe`` is
+    O(log buckets) via bisect.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bound")
+        if any(b >= c for b, c in zip(self.bounds, self.bounds[1:])):
+            raise ValueError(
+                f"histogram {self.name!r} bounds must be strictly increasing: "
+                f"{self.bounds}"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4g})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Flat namespace of typed metrics, created lazily by name.
+
+    ``counter``/``gauge``/``histogram`` are create-or-get: asking twice for
+    the same name returns the same instrument, and asking for an existing
+    name with a different type is an error (one name, one meaning).
+
+    ``enabled`` is the registry-wide master switch the attach paths consult
+    *once* (like a ``wants_*`` guard) before wiring any collector; a
+    disabled registry is never subscribed anywhere and so costs nothing.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Metric] = {}
+
+    # ------------------------------------------------------------ instruments
+
+    def _get(self, name: str, cls, *args) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The instrument registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    # -------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready view of every metric, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def self_check(self) -> list[str]:
+        """Internal-consistency audit; returns human-readable problems.
+
+        Catches corruption that would otherwise propagate silently into
+        reports: non-monotonic histogram bounds, bucket counts that no
+        longer sum to the observation count, negative counters, gauges
+        whose high-water mark trails their value.
+        """
+        problems: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                if metric.value < 0:
+                    problems.append(f"counter {name!r} is negative: {metric.value}")
+            elif isinstance(metric, Gauge):
+                if metric.hwm < metric.value:
+                    problems.append(
+                        f"gauge {name!r} high-water mark {metric.hwm} is below "
+                        f"its value {metric.value}"
+                    )
+            elif isinstance(metric, Histogram):
+                bounds = metric.bounds
+                if any(b >= c for b, c in zip(bounds, bounds[1:])):
+                    problems.append(
+                        f"histogram {name!r} bucket bounds are not strictly "
+                        f"increasing: {list(bounds)}"
+                    )
+                if len(metric.counts) != len(bounds) + 1:
+                    problems.append(
+                        f"histogram {name!r} has {len(metric.counts)} buckets "
+                        f"for {len(bounds)} bounds (want {len(bounds) + 1})"
+                    )
+                if any(c < 0 for c in metric.counts):
+                    problems.append(
+                        f"histogram {name!r} has a negative bucket count: "
+                        f"{metric.counts}"
+                    )
+                if sum(metric.counts) != metric.count:
+                    problems.append(
+                        f"histogram {name!r} bucket counts sum to "
+                        f"{sum(metric.counts)} but {metric.count} observations "
+                        "were recorded"
+                    )
+        return problems

@@ -1,0 +1,267 @@
+"""Profile report: JSON schema, self-check, and human-readable summary.
+
+``python -m repro profile`` emits one JSON document tying the three
+observability sources together — the phase span tree, the metric registry
+snapshot, and the sweep telemetry.  The format is versioned and
+self-checkable: :func:`check_report` validates structure and internal
+consistency (it embeds the registry's histogram invariants), so CI can
+schema-check every emitted report and a corrupted report fails loudly
+instead of feeding bad numbers into a regression dashboard.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Optional
+
+__all__ = ["SCHEMA_VERSION", "REPORT_KIND", "build_report", "check_report", "format_report"]
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "repro-profile-report"
+
+
+def build_report(
+    scenario: dict,
+    observation: dict,
+    sweep: Optional[dict] = None,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Assemble the versioned report document.
+
+    ``observation`` is ``RunObservation.to_dict()`` (``phases`` + ``metrics``);
+    ``sweep`` is ``SweepTelemetry.to_dict()`` or None; ``meta`` carries
+    free-form context (config profile, CLI flags).
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "meta": meta or {},
+        "scenario": scenario,
+        "phases": observation.get("phases"),
+        "metrics": observation.get("metrics", {}),
+        "sweep": sweep,
+    }
+
+
+# --------------------------------------------------------------------------
+# Schema check
+# --------------------------------------------------------------------------
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _check_span(span: Any, path: str, problems: list[str]) -> None:
+    if not isinstance(span, dict):
+        problems.append(f"{path}: span must be an object, got {type(span).__name__}")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        problems.append(f"{path}: span needs a non-empty string 'name'")
+    wall = span.get("wall_s")
+    if not _is_num(wall) or wall < 0:
+        problems.append(f"{path}: 'wall_s' must be a number >= 0, got {wall!r}")
+    for key in ("events",):
+        if key in span and not isinstance(span[key], int):
+            problems.append(f"{path}: {key!r} must be an integer, got {span[key]!r}")
+    for key in ("run_wall_s", "sim_s", "mem_peak_kb"):
+        if key in span and not _is_num(span[key]):
+            problems.append(f"{path}: {key!r} must be a number, got {span[key]!r}")
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{path}: 'children' must be a list")
+        return
+    for i, child in enumerate(children):
+        _check_span(child, f"{path}.children[{i}]", problems)
+
+
+def _check_metric(name: str, metric: Any, problems: list[str]) -> None:
+    path = f"metrics[{name!r}]"
+    if not isinstance(metric, dict):
+        problems.append(f"{path}: must be an object")
+        return
+    kind = metric.get("kind")
+    if kind == "counter":
+        value = metric.get("value")
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{path}: counter value must be an int >= 0, got {value!r}")
+    elif kind == "gauge":
+        value, hwm = metric.get("value"), metric.get("hwm")
+        if not _is_num(value) or not _is_num(hwm):
+            problems.append(f"{path}: gauge needs numeric 'value' and 'hwm'")
+        elif hwm < value:
+            problems.append(f"{path}: gauge hwm {hwm} is below its value {value}")
+    elif kind == "histogram":
+        bounds = metric.get("bounds")
+        counts = metric.get("counts")
+        count = metric.get("count")
+        total = metric.get("total")
+        if not isinstance(bounds, list) or not bounds:
+            problems.append(f"{path}: histogram needs a non-empty 'bounds' list")
+            return
+        if any(not _is_num(b) for b in bounds):
+            problems.append(f"{path}: histogram bounds must be numbers")
+            return
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            problems.append(
+                f"{path}: histogram bounds are not strictly increasing: {bounds}"
+            )
+        if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+            problems.append(
+                f"{path}: histogram needs len(bounds)+1 bucket counts, got "
+                f"{counts!r}"
+            )
+        elif any(not isinstance(c, int) or c < 0 for c in counts):
+            problems.append(f"{path}: histogram bucket counts must be ints >= 0")
+        elif not isinstance(count, int) or sum(counts) != count:
+            problems.append(
+                f"{path}: histogram bucket counts sum to {sum(counts)} but "
+                f"'count' says {count!r}"
+            )
+        if not _is_num(total):
+            problems.append(f"{path}: histogram 'total' must be a number")
+    else:
+        problems.append(f"{path}: unknown metric kind {kind!r}")
+
+
+def _check_sweep(sweep: Any, problems: list[str]) -> None:
+    if not isinstance(sweep, dict):
+        problems.append("sweep: must be an object or null")
+        return
+    workers = sweep.get("workers")
+    if not isinstance(workers, int) or workers < 1:
+        problems.append(f"sweep: 'workers' must be an int >= 1, got {workers!r}")
+    for key in ("wall_s", "busy_s", "utilization"):
+        if not _is_num(sweep.get(key)):
+            problems.append(f"sweep: {key!r} must be a number")
+    util = sweep.get("utilization")
+    if _is_num(util) and not 0.0 <= util <= 1.0:
+        problems.append(f"sweep: utilization must be within [0, 1], got {util!r}")
+    for key in ("n_timeouts", "n_retries", "total_tasks", "completed_tasks"):
+        value = sweep.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"sweep: {key!r} must be an int >= 0, got {value!r}")
+    seeds = sweep.get("seeds")
+    if not isinstance(seeds, list):
+        problems.append("sweep: 'seeds' must be a list")
+        return
+    for i, timing in enumerate(seeds):
+        if not isinstance(timing, dict):
+            problems.append(f"sweep.seeds[{i}]: must be an object")
+            continue
+        if not isinstance(timing.get("protocol"), str):
+            problems.append(f"sweep.seeds[{i}]: 'protocol' must be a string")
+        for key in ("degree", "seed"):
+            if not isinstance(timing.get(key), int):
+                problems.append(f"sweep.seeds[{i}]: {key!r} must be an int")
+        if not isinstance(timing.get("ok"), bool):
+            problems.append(f"sweep.seeds[{i}]: 'ok' must be a bool")
+        elapsed = timing.get("elapsed_s")
+        if elapsed is not None and (not _is_num(elapsed) or elapsed < 0):
+            problems.append(
+                f"sweep.seeds[{i}]: 'elapsed_s' must be null or a number >= 0"
+            )
+
+
+def check_report(report: Any) -> list[str]:
+    """Validate a profile report; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, got "
+            f"{report.get('schema_version')!r}"
+        )
+    if report.get("kind") != REPORT_KIND:
+        problems.append(f"kind must be {REPORT_KIND!r}, got {report.get('kind')!r}")
+    scenario = report.get("scenario")
+    if not isinstance(scenario, dict):
+        problems.append("scenario: must be an object")
+    phases = report.get("phases")
+    if phases is not None:
+        _check_span(phases, "phases", problems)
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics: must be an object")
+    else:
+        for name, metric in metrics.items():
+            _check_metric(name, metric, problems)
+    if report.get("sweep") is not None:
+        _check_sweep(report["sweep"], problems)
+    return problems
+
+
+# --------------------------------------------------------------------------
+# Human summary
+# --------------------------------------------------------------------------
+
+
+def _format_span(span: dict, lines: list[str], depth: int) -> None:
+    label = f"{'  ' * depth}{span['name']}"
+    extra = ""
+    if "events" in span:
+        rate = (
+            span["events"] / span["run_wall_s"]
+            if span.get("run_wall_s")
+            else 0.0
+        )
+        extra = (
+            f"  [{span['events']:,} events, {span.get('sim_s', 0.0):.1f} sim-s"
+            + (f", {rate:,.0f} ev/s" if rate else "")
+            + "]"
+        )
+    if span.get("mem_peak_kb") is not None:
+        extra += f"  (peak {span['mem_peak_kb']:,.0f} KiB)"
+    lines.append(f"{label:<28} {span['wall_s']*1e3:>9.1f} ms{extra}")
+    for child in span.get("children", ()):
+        _format_span(child, lines, depth + 1)
+
+
+def format_report(report: dict) -> str:
+    """Render the report for humans: phase tree, key metrics, sweep summary."""
+    lines: list[str] = []
+    scenario = report.get("scenario", {})
+    lines.append(
+        "profile: "
+        + " ".join(f"{k}={v}" for k, v in scenario.items() if not isinstance(v, dict))
+    )
+    phases = report.get("phases")
+    if phases:
+        lines.append("")
+        lines.append("phases (wall time):")
+        _format_span(phases, lines, 0)
+    metrics = report.get("metrics", {})
+    if metrics:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(metrics):
+            m = metrics[name]
+            if m["kind"] == "counter":
+                lines.append(f"  {name:<32} {m['value']:>12,}")
+            elif m["kind"] == "gauge":
+                lines.append(f"  {name:<32} {m['value']:>12,.2f} (hwm {m['hwm']:,.2f})")
+            else:
+                mean = m["total"] / m["count"] if m["count"] else 0.0
+                lines.append(
+                    f"  {name:<32} n={m['count']:,} mean={mean:.3g} "
+                    f"buckets={m['counts']}"
+                )
+    sweep = report.get("sweep")
+    if sweep:
+        lines.append("")
+        lines.append(
+            f"sweep: {sweep['completed_tasks']}/{sweep['total_tasks']} seeds "
+            f"({sweep['resumed_tasks']} resumed) in {sweep['wall_s']:.2f}s on "
+            f"{sweep['workers']} worker(s), utilization "
+            f"{sweep['utilization']:.0%}, {sweep['n_timeouts']} timeout(s), "
+            f"{sweep['n_retries']} retried attempt(s)"
+        )
+        slowest = sweep.get("slowest")
+        if slowest and slowest.get("elapsed_s") is not None:
+            lines.append(
+                f"  slowest seed: {slowest['protocol']} "
+                f"degree={slowest['degree']} seed={slowest['seed']} "
+                f"({slowest['elapsed_s']:.2f}s)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Sweep telemetry: per-seed runtime, worker utilisation, fault counts.
+
+A paper-scale sweep runs hundreds of (protocol, degree, seed) tasks over a
+supervised worker pool; knowing which seeds are slow, how busy the workers
+were, and how often the fault-tolerance machinery fired (timeouts, worker
+retries) is the difference between "the sweep is slow" and "bgp at degree 8
+is the straggler".  :func:`repro.experiments.runner.run_sweep` fills a
+:class:`SweepTelemetry` when handed one, and — when a
+:class:`~repro.experiments.store.SweepStore` is attached — each per-seed
+timing is appended to the shard log as a ``{"kind": "telemetry"}`` record
+alongside the result shards (result loading skips them, so telemetry never
+affects resumed-sweep identity).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SeedTiming", "SweepTelemetry"]
+
+
+@dataclass(frozen=True)
+class SeedTiming:
+    """Wall-clock accounting for one completed (protocol, degree, seed)."""
+
+    protocol: str
+    degree: int
+    seed: int
+    #: Seconds of simulation work (in-worker for pool runs, so queue wait is
+    #: excluded; None when the duration could not be measured, e.g. a worker
+    #: that died without reporting).
+    elapsed_s: Optional[float]
+    ok: bool
+    #: Times the task was handed to a worker (1 = first try succeeded).
+    attempts: int = 1
+    timed_out: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "degree": self.degree,
+            "seed": self.seed,
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+
+class SweepTelemetry:
+    """Accumulates one sweep's execution telemetry."""
+
+    def __init__(self) -> None:
+        self.workers = 1
+        self.total_tasks = 0
+        self.resumed_tasks = 0
+        self.seeds: list[SeedTiming] = []
+        self.n_timeouts = 0
+        self.n_retries = 0
+        self._started: Optional[float] = None
+        self.wall_s = 0.0
+
+    # -------------------------------------------------------------- lifecycle
+
+    def begin(self, workers: int, total_tasks: int, resumed_tasks: int = 0) -> None:
+        self.workers = max(1, workers)
+        self.total_tasks = total_tasks
+        self.resumed_tasks = resumed_tasks
+        self._started = time.perf_counter()
+
+    def record(
+        self,
+        protocol: str,
+        degree: int,
+        seed: int,
+        ok: bool,
+        elapsed_s: Optional[float],
+        attempts: int = 1,
+        timed_out: bool = False,
+    ) -> SeedTiming:
+        timing = SeedTiming(
+            protocol=protocol,
+            degree=degree,
+            seed=seed,
+            elapsed_s=elapsed_s,
+            ok=ok,
+            attempts=attempts,
+            timed_out=timed_out,
+        )
+        self.seeds.append(timing)
+        if timed_out:
+            self.n_timeouts += 1
+        if attempts > 1:
+            self.n_retries += attempts - 1
+        return timing
+
+    def end(self) -> None:
+        if self._started is not None:
+            self.wall_s = time.perf_counter() - self._started
+            self._started = None
+
+    # ------------------------------------------------------------- aggregates
+
+    @property
+    def busy_s(self) -> float:
+        """Total seconds workers spent simulating (measured seeds only)."""
+        return sum(t.elapsed_s for t in self.seeds if t.elapsed_s is not None)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker-seconds budget spent simulating.
+
+        1.0 means every worker simulated the whole sweep; low values point
+        at stragglers, dispatch overhead, or an oversized pool.
+        """
+        budget = self.workers * self.wall_s
+        return min(1.0, self.busy_s / budget) if budget > 0 else 0.0
+
+    @property
+    def slowest(self) -> Optional[SeedTiming]:
+        timed = [t for t in self.seeds if t.elapsed_s is not None]
+        return max(timed, key=lambda t: t.elapsed_s) if timed else None
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary plus the per-seed timing list."""
+        slowest = self.slowest
+        return {
+            "workers": self.workers,
+            "total_tasks": self.total_tasks,
+            "resumed_tasks": self.resumed_tasks,
+            "completed_tasks": len(self.seeds),
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "n_timeouts": self.n_timeouts,
+            "n_retries": self.n_retries,
+            "slowest": slowest.to_dict() if slowest else None,
+            "seeds": [t.to_dict() for t in self.seeds],
+        }

@@ -80,8 +80,19 @@ class RoutingProtocol(abc.ABC):
             costs[nbr] = link.spec.cost
         return costs
 
-    def _record_message(self, neighbor: int, n_routes: int, is_withdrawal: bool = False) -> None:
-        """Account one sent message for overhead metrics."""
+    def _record_message(
+        self,
+        neighbor: int,
+        n_routes: int,
+        is_withdrawal: bool = False,
+        size_bytes: int = 0,
+    ) -> None:
+        """Account one sent message for overhead metrics.
+
+        ``size_bytes`` feeds the per-protocol byte counters in the
+        observability layer; callers pass the same wire size they gave
+        ``node.send_control``.
+        """
         self.messages_sent += 1
         self.routes_sent += n_routes
         bus = self.node.bus
@@ -95,5 +106,6 @@ class RoutingProtocol(abc.ABC):
                     protocol=self.name,
                     n_routes=n_routes,
                     is_withdrawal=is_withdrawal,
+                    size_bytes=size_bytes,
                 )
             )

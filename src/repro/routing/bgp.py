@@ -364,7 +364,7 @@ class BgpProtocol(RoutingProtocol):
         update = PathVectorUpdate(path=export_path, dests=(dest,))
         if channel.send(update, update.size_bytes):
             advertised[dest] = export_path
-            self._record_message(neighbor, 1)
+            self._record_message(neighbor, 1, size_bytes=update.size_bytes)
             return True
         return False
 
@@ -377,7 +377,10 @@ class BgpProtocol(RoutingProtocol):
             advertised.pop(dest, None)
         message = PathVectorWithdrawal(dests=tuple(sorted(dests)))
         if channel.send(message, message.size_bytes):
-            self._record_message(neighbor, len(dests), is_withdrawal=True)
+            self._record_message(
+                neighbor, len(dests), is_withdrawal=True,
+                size_bytes=message.size_bytes,
+            )
 
     def _start_mrai(self, key: Hashable, neighbor: int) -> None:
         if self.config.mrai_base <= 0:

@@ -416,7 +416,10 @@ class DualProtocol(RoutingProtocol):
                 message = classes[kind](routes=routes)
                 channel = self._channels.get(nbr)
                 if channel is not None and channel.send(message, message.size_bytes):
-                    self._record_message(nbr, len(routes), is_withdrawal=(kind == "query"))
+                    self._record_message(
+                        nbr, len(routes), is_withdrawal=(kind == "query"),
+                        size_bytes=message.size_bytes,
+                    )
             per_nbr.clear()
 
     # -------------------------------------------------------------- inspection

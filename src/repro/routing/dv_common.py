@@ -288,4 +288,6 @@ class DistanceVectorProtocol(RoutingProtocol):
             self.node.send_control(
                 neighbor, message, message.size_bytes, protocol=self.name
             )
-            self._record_message(neighbor, len(message))
+            self._record_message(
+                neighbor, len(message), size_bytes=message.size_bytes
+            )

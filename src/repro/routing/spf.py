@@ -161,7 +161,7 @@ class SpfProtocol(RoutingProtocol):
 
     def _send_lsa(self, neighbor: int, lsa: Lsa) -> None:
         self.node.send_control(neighbor, lsa, lsa.size_bytes, protocol=self.name)
-        self._record_message(neighbor, 1)
+        self._record_message(neighbor, 1, size_bytes=lsa.size_bytes)
 
     def _schedule_recompute(self) -> None:
         if self.config.spf_delay <= 0:

@@ -137,6 +137,17 @@ class Simulator:
         """Number of queue entries not yet popped (includes cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def run_wall_time(self) -> float:
+        """Cumulative wall-clock seconds spent inside :meth:`run` so far.
+
+        Monotone across successive ``run()`` calls, so a profiler span can
+        attribute in-engine wall time to a phase by differencing this around
+        the phase's ``run(until=...)`` segment (see
+        :class:`repro.obs.profiler.PhaseProfiler`).
+        """
+        return self._wall_time
+
     def stats(self) -> EventStats:
         """Immutable snapshot of throughput/queue/cancellation counters."""
         return EventStats(

@@ -95,6 +95,8 @@ class MessageRecord:
     protocol: str
     n_routes: int
     is_withdrawal: bool = False
+    #: On-the-wire size of the message (0 when the sender did not report it).
+    size_bytes: int = 0
 
 
 #: The four trace kinds, in hot-path order.
@@ -264,6 +266,35 @@ class TraceBus:
         elif kind not in self._subs:
             raise ValueError(f"unknown trace kind {kind!r}")
         self._subs[kind].append(handler)
+        self._refresh_guards()
+
+    def unsubscribe(
+        self, kind: Union[str, type], handler: Callable[[object], None]
+    ) -> None:
+        """Remove a previously registered ``handler`` for ``kind``.
+
+        Recomputes the ``wants_*`` guards, so detaching the last subscriber
+        of a kind (with retention off) returns its hot path to the
+        zero-allocation regime.  Long-lived processes that attach collectors
+        per run (see :meth:`repro.metrics.counters.DropCounter.close`) must
+        use this rather than leaking dead subscribers.  Raises ``ValueError``
+        if the handler is not currently subscribed.
+        """
+        if isinstance(kind, type):
+            try:
+                kind = _KIND_OF_TYPE[kind]
+            except KeyError:
+                raise ValueError(
+                    f"unknown trace record type {kind.__name__}"
+                ) from None
+        elif kind not in self._subs:
+            raise ValueError(f"unknown trace kind {kind!r}")
+        try:
+            self._subs[kind].remove(handler)
+        except ValueError:
+            raise ValueError(
+                f"handler {handler!r} is not subscribed to {kind!r}"
+            ) from None
         self._refresh_guards()
 
     # ------------------------------------------------------------ publishing

@@ -1,0 +1,124 @@
+"""Sweep execution telemetry: per-seed timing, store records, resume safety.
+
+The telemetry contract has two halves: ``run_sweep(telemetry=...)`` fills a
+:class:`~repro.obs.sweeps.SweepTelemetry` with one timing per executed seed,
+and — with a store attached — each timing also lands in the shard log as a
+``{"kind": "telemetry"}`` record that result loading must skip, so a sweep
+resumed from a telemetry-bearing store stays bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import save_points
+from repro.experiments.runner import run_sweep
+from repro.experiments.store import SweepStore
+from repro.obs.sweeps import SeedTiming, SweepTelemetry
+
+TINY = ExperimentConfig.quick().with_(
+    rows=5, cols=5, degrees=(4,), runs=3, post_fail_window=10.0,
+    protocols=("static",),
+)
+
+
+class TestSerialTelemetry:
+    def test_every_seed_gets_a_timing(self):
+        telemetry = SweepTelemetry()
+        results = run_sweep(TINY, telemetry=telemetry)
+        assert len(telemetry.seeds) == len(TINY.grid())
+        assert {(t.protocol, t.degree, t.seed) for t in telemetry.seeds} == set(
+            TINY.grid()
+        )
+        assert all(t.ok and t.elapsed_s > 0 for t in telemetry.seeds)
+        assert all(t.attempts == 1 and not t.timed_out for t in telemetry.seeds)
+        assert results[("static", 4)].n_runs == 3
+
+    def test_aggregates_are_consistent(self):
+        telemetry = SweepTelemetry()
+        run_sweep(TINY, telemetry=telemetry)
+        assert telemetry.total_tasks == len(TINY.grid())
+        assert telemetry.resumed_tasks == 0
+        assert telemetry.wall_s > 0
+        assert telemetry.busy_s > 0
+        assert 0.0 <= telemetry.utilization <= 1.0
+        slowest = telemetry.slowest
+        assert slowest is not None
+        assert slowest.elapsed_s == max(t.elapsed_s for t in telemetry.seeds)
+        assert telemetry.n_timeouts == 0
+        assert telemetry.n_retries == 0
+
+    def test_to_dict_is_json_ready(self):
+        telemetry = SweepTelemetry()
+        run_sweep(TINY, telemetry=telemetry)
+        d = json.loads(json.dumps(telemetry.to_dict()))
+        assert d["completed_tasks"] == len(TINY.grid())
+        assert len(d["seeds"]) == len(TINY.grid())
+        assert d["workers"] == 1
+
+
+class TestPoolTelemetry:
+    def test_pool_run_times_every_seed_in_worker(self):
+        telemetry = SweepTelemetry()
+        run_sweep(TINY, workers=2, telemetry=telemetry)
+        assert telemetry.workers == 2
+        assert len(telemetry.seeds) == len(TINY.grid())
+        assert all(t.ok and t.elapsed_s > 0 for t in telemetry.seeds)
+
+
+class TestStoreTelemetry:
+    def test_timings_are_appended_as_telemetry_records(self, tmp_path):
+        store = SweepStore(tmp_path / "sweep")
+        telemetry = SweepTelemetry()
+        run_sweep(TINY, store=store, telemetry=telemetry)
+        loaded = store.load_telemetry()
+        assert len(loaded) == len(TINY.grid())
+        assert loaded == [t.to_dict() for t in telemetry.seeds]
+        # And they survive a dataclass round trip.
+        assert all(SeedTiming(**t).ok for t in loaded)
+
+    def test_load_outcomes_skips_telemetry_records(self, tmp_path):
+        store = SweepStore(tmp_path / "sweep")
+        run_sweep(TINY, store=store, telemetry=SweepTelemetry())
+        reopened = SweepStore(tmp_path / "sweep")
+        reopened.open(TINY)
+        outcomes = reopened.load_outcomes()
+        assert set(outcomes) == set(TINY.grid())
+        assert reopened.missing_tasks() == []
+
+    def test_resume_over_telemetry_records_is_identical(self, tmp_path):
+        # A store with telemetry interleaved must resume to the same results
+        # as a plain uninterrupted sweep.
+        store_dir = tmp_path / "sweep"
+        run_sweep(TINY, store=SweepStore(store_dir), telemetry=SweepTelemetry())
+
+        resumed_telemetry = SweepTelemetry()
+        resumed = run_sweep(
+            TINY, store=SweepStore(store_dir), telemetry=resumed_telemetry
+        )
+        # Nothing re-ran: all tasks came from the shards.
+        assert resumed_telemetry.resumed_tasks == len(TINY.grid())
+        assert resumed_telemetry.seeds == []
+
+        plain = run_sweep(TINY)
+        resumed_json = tmp_path / "resumed.json"
+        plain_json = tmp_path / "plain.json"
+        save_points(resumed, resumed_json)
+        save_points(plain, plain_json)
+        assert resumed_json.read_bytes() == plain_json.read_bytes()
+
+    def test_shard_log_interleaves_results_and_telemetry(self, tmp_path):
+        store = SweepStore(tmp_path / "sweep")
+        run_sweep(TINY, store=store, telemetry=SweepTelemetry())
+        kinds = []
+        with open(store.shards_path, encoding="utf-8") as f:
+            for line in f:
+                kinds.append(json.loads(line)["kind"])
+        assert kinds == ["run", "telemetry"] * len(TINY.grid())
+
+    def test_no_telemetry_records_without_a_telemetry_sink(self, tmp_path):
+        store = SweepStore(tmp_path / "sweep")
+        run_sweep(TINY, store=store)
+        assert store.load_telemetry() == []

@@ -1,0 +1,84 @@
+"""Property tests for the arrival-order inversion analysis.
+
+The single-pass ``analyze_reordering`` is checked against a brute-force
+O(n^2) oracle on random arrival sequences (permutations and streams with
+duplicates/losses): a packet is late iff some earlier arrival has a higher
+id; its displacement is the gap to the running maximum; episodes are the
+maximal runs of consecutive late arrivals.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.reordering import analyze_reordering
+from repro.traffic.flows import Delivery
+
+
+def _deliveries(ids):
+    return [
+        Delivery(time=float(i), delay=0.01, hops=2, packet_id=pid)
+        for i, pid in enumerate(ids)
+    ]
+
+
+def _oracle(ids):
+    """Quadratic reference implementation of the reordering report."""
+    late = 0
+    max_disp = 0
+    episodes = 0
+    prev_late = False
+    for i, pid in enumerate(ids):
+        high = max(ids[:i], default=-1)
+        is_late = pid < high
+        if is_late:
+            late += 1
+            max_disp = max(max_disp, high - pid)
+            if not prev_late:
+                episodes += 1
+        prev_late = is_late
+    return late, max_disp, episodes
+
+
+_id_streams = st.one_of(
+    st.lists(st.integers(min_value=0, max_value=30), max_size=40),
+    st.permutations(list(range(12))),
+)
+
+
+@given(ids=_id_streams)
+@settings(max_examples=120, deadline=None)
+def test_single_pass_matches_quadratic_oracle(ids):
+    ids = list(ids)
+    report = analyze_reordering(_deliveries(ids))
+    late, max_disp, episodes = _oracle(ids)
+    assert report.delivered == len(ids)
+    assert report.late_packets == late
+    assert report.max_displacement == max_disp
+    assert report.episodes == episodes
+
+
+@given(ids=_id_streams)
+@settings(max_examples=60, deadline=None)
+def test_invariants(ids):
+    ids = list(ids)
+    report = analyze_reordering(_deliveries(ids))
+    assert 0 <= report.late_packets <= report.delivered
+    assert report.episodes <= report.late_packets
+    assert (report.max_displacement > 0) == (report.late_packets > 0)
+    assert 0.0 <= report.reordering_ratio <= 1.0
+
+
+def test_in_order_stream_has_no_reordering():
+    report = analyze_reordering(_deliveries(range(10)))
+    assert report.late_packets == 0
+    assert report.episodes == 0
+    assert report.max_displacement == 0
+
+
+def test_single_swap_is_one_episode():
+    report = analyze_reordering(_deliveries([0, 2, 1, 3]))
+    assert report.late_packets == 1
+    assert report.episodes == 1
+    assert report.max_displacement == 1

@@ -1,0 +1,104 @@
+"""Phase profiler: span nesting, engine attribution, and the disabled path."""
+
+from __future__ import annotations
+
+from repro.obs.profiler import NULL_PROFILER, PhaseProfiler
+from repro.sim.engine import Simulator
+
+
+class TestSpans:
+    def test_spans_nest_into_a_tree(self):
+        prof = PhaseProfiler()
+        with prof.span("outer"):
+            with prof.span("inner_a"):
+                pass
+            with prof.span("inner_b"):
+                pass
+        root = prof.finish()
+        assert root.name == "total"
+        (outer,) = root.children
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+
+    def test_wall_time_accumulates_and_nests(self):
+        prof = PhaseProfiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                sum(range(1000))
+        root = prof.finish()
+        outer = root.children[0]
+        inner = outer.children[0]
+        assert 0.0 <= inner.wall_s <= outer.wall_s <= root.wall_s
+
+    def test_engine_attribution_measures_span_deltas(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        prof = PhaseProfiler()
+        with prof.span("first", sim=sim):
+            sim.run(until=0.55)
+        with prof.span("rest", sim=sim):
+            sim.run()
+        first, rest = prof.finish().children
+        assert first.events == 5
+        assert rest.events == 5
+        assert first.sim_s == 0.55
+        assert rest.sim_s == 1.0 - 0.55
+        assert first.run_wall_s >= 0.0
+        assert first.events_per_sec >= 0.0
+
+    def test_span_without_sim_has_no_attribution(self):
+        prof = PhaseProfiler()
+        with prof.span("plain"):
+            pass
+        (span,) = prof.finish().children
+        assert span.events is None
+        assert span.to_dict() == {"name": "plain", "wall_s": span.wall_s}
+
+    def test_to_dict_includes_children_and_attribution(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        prof = PhaseProfiler()
+        with prof.span("run", sim=sim):
+            sim.run()
+        d = prof.to_dict()
+        assert d["name"] == "total"
+        child = d["children"][0]
+        assert child["name"] == "run"
+        assert child["events"] == 1
+        assert child["sim_s"] == 0.1
+
+
+class TestDisabled:
+    def test_null_profiler_hands_out_one_shared_noop_span(self):
+        a = NULL_PROFILER.span("x")
+        b = NULL_PROFILER.span("y", sim=object())
+        assert a is b
+        with a:
+            pass
+        assert NULL_PROFILER.root.children == []
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = PhaseProfiler(enabled=False)
+        with prof.span("phase"):
+            pass
+        assert prof.finish().children == []
+        assert prof.to_dict() == {"name": "total", "wall_s": 0.0}
+
+
+class TestMemoryTracing:
+    def test_top_level_spans_get_memory_peaks(self):
+        prof = PhaseProfiler(trace_memory=True)
+        with prof.span("alloc"):
+            _ = [list(range(100)) for _ in range(100)]
+        root = prof.finish()
+        (span,) = root.children
+        assert span.mem_peak_kb is not None
+        assert span.mem_peak_kb > 0.0
+
+    def test_memory_tracing_off_by_default(self):
+        prof = PhaseProfiler()
+        with prof.span("alloc"):
+            _ = list(range(1000))
+        (span,) = prof.finish().children
+        assert span.mem_peak_kb is None
