@@ -7,18 +7,29 @@ Two unrelated "overheads" live here:
   periodic-update tax plus triggered bursts; BGP variants send only on
   change, so their counts isolate the convergence traffic itself;
 * the cost of the :mod:`repro.obs` observability layer itself, as a script
-  harness: one DBF scenario timed with observation off (the default path)
-  and with a full :class:`~repro.obs.RunObservation` attached.  The delta is
-  the price of profiling a run; the budget is a few percent::
+  harness: one DBF scenario timed with observation off (the default path),
+  with a full :class:`~repro.obs.RunObservation` attached, and with a
+  :class:`~repro.obs.FlightRecorder` attached.  Each delta is the price of
+  instrumenting a run; the budget is a few percent (3 % is the target for
+  the recorder — see docs/tracing.md for what it actually measures at)::
 
       PYTHONPATH=src python benchmarks/bench_overhead.py --json BENCH_obs.json
       PYTHONPATH=src python benchmarks/bench_overhead.py --smoke
+
+Methodology: wall-clock best-of-N turned out to have a ~±4 % noise floor on
+an otherwise idle box, which drowns a few-percent effect.  The harness
+therefore measures CPU seconds (``time.process_time``) with the cyclic GC
+pinned, runs the variants **interleaved** in rotating order within each
+round so slow drift cancels, and reports the median of per-round
+overhead ratios rather than a difference of independent minima.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import statistics
 import sys
 import time
 
@@ -45,22 +56,61 @@ def test_overhead_sweep(benchmark, config):
 # ------------------------------------------------------------ script harness
 
 
-def _best_scenario_seconds(
-    post_fail_window: float, repeat: int, observed: bool
-) -> float:
-    """Best-of-N wall seconds for one DBF scenario, with/without observation."""
-    from repro.obs import RunObservation
+_VARIANTS = ("off", "obs", "flight")
+
+
+def _scenario_cpu_seconds(post_fail_window: float, variant: str) -> float:
+    """CPU seconds for one DBF scenario under one instrumentation variant.
+
+    ``variant`` is ``"off"`` (the default zero-instrumentation path),
+    ``"obs"`` (a full :class:`RunObservation`), or ``"flight"`` (a
+    :class:`FlightRecorder` ring-buffering every record kind).
+    """
+    from repro.obs import FlightRecorder, RunObservation
 
     cfg = ExperimentConfig.quick().with_(runs=1, post_fail_window=post_fail_window)
-    best = None
-    for _ in range(max(1, repeat)):
-        obs = RunObservation() if observed else None
-        started = time.perf_counter()
-        result = run_scenario("dbf", 4, 1, cfg, obs=obs)
-        elapsed = time.perf_counter() - started
-        assert result.delivered > 0
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+    obs = RunObservation() if variant == "obs" else None
+    recorder = FlightRecorder() if variant == "flight" else None
+    gc.collect()
+    started = time.process_time()
+    result = run_scenario("dbf", 4, 1, cfg, obs=obs, recorder=recorder)
+    elapsed = time.process_time() - started
+    assert result.delivered > 0
+    if recorder is not None:
+        assert len(recorder.records("packet")) > 0
+    return elapsed
+
+
+def _measure(post_fail_window: float, rounds: int) -> dict[str, float]:
+    """Interleaved paired measurement of all variants.
+
+    Every round times all three variants back to back, rotating the order
+    each round so monotone machine drift biases no variant; per-round
+    overhead ratios against that round's own baseline cancel the drift
+    entirely.  Returns median seconds per variant plus median overhead
+    percentages.
+    """
+    rounds = max(1, rounds)
+    gc.disable()
+    try:
+        for variant in _VARIANTS:  # warm caches, import costs, allocator
+            _scenario_cpu_seconds(post_fail_window, variant)
+        times: dict[str, list[float]] = {v: [] for v in _VARIANTS}
+        ratios: dict[str, list[float]] = {v: [] for v in _VARIANTS[1:]}
+        for i in range(rounds):
+            order = _VARIANTS[i % 3:] + _VARIANTS[: i % 3]
+            sample = {}
+            for variant in order:
+                sample[variant] = _scenario_cpu_seconds(post_fail_window, variant)
+                times[variant].append(sample[variant])
+            for variant in ratios:
+                ratios[variant].append(sample[variant] / sample["off"])
+    finally:
+        gc.enable()
+    out = {f"{v}_s": statistics.median(times[v]) for v in _VARIANTS}
+    for variant, rs in ratios.items():
+        out[f"{variant}_pct"] = (statistics.median(rs) - 1.0) * 100.0
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,22 +124,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--json", metavar="PATH", help="write results as JSON")
     parser.add_argument(
-        "--repeat", type=int, default=5, help="repeats per variant (best kept)"
+        "--repeat", type=int, default=15,
+        help="measurement rounds (each times every variant once)",
     )
     args = parser.parse_args(argv)
 
     window = 4.0 if args.smoke else 40.0
-    baseline_s = _best_scenario_seconds(window, args.repeat, observed=False)
-    observed_s = _best_scenario_seconds(window, args.repeat, observed=True)
-    overhead_pct = (observed_s - baseline_s) / baseline_s * 100.0
+    rounds = 1 if args.smoke else args.repeat
+    m = _measure(window, rounds)
+    baseline_s, observed_s, flight_s = m["off_s"], m["obs_s"], m["flight_s"]
+    overhead_pct, flight_pct = m["obs_pct"], m["flight_pct"]
 
-    print(f"{'baseline (obs off)':>20}: {baseline_s:.4f} s")
-    print(f"{'observed (obs on)':>20}: {observed_s:.4f} s")
-    print(f"{'overhead':>20}: {overhead_pct:+.2f} %")
+    print(f"{'baseline (obs off)':>24}: {baseline_s:.4f} s")
+    print(f"{'observed (obs on)':>24}: {observed_s:.4f} s")
+    print(f"{'recorded (flight on)':>24}: {flight_s:.4f} s")
+    print(f"{'obs overhead':>24}: {overhead_pct:+.2f} %")
+    print(f"{'flight overhead':>24}: {flight_pct:+.2f} %")
 
     if args.json:
         payload = {
-            "meta": {"smoke": args.smoke, "repeat": args.repeat,
+            "meta": {"smoke": args.smoke, "rounds": rounds,
+                     "clock": "process_time",
+                     "statistic": "median of per-round paired ratios",
                      "post_fail_window_s": window},
             "benchmarks": {
                 "scenario_obs_off": {
@@ -98,8 +154,14 @@ def main(argv: list[str] | None = None) -> int:
                 "scenario_obs_on": {
                     "value": observed_s, "unit": "s", "higher_is_better": False,
                 },
+                "scenario_flight_on": {
+                    "value": flight_s, "unit": "s", "higher_is_better": False,
+                },
                 "obs_overhead_pct": {
                     "value": overhead_pct, "unit": "%", "higher_is_better": False,
+                },
+                "flight_overhead_pct": {
+                    "value": flight_pct, "unit": "%", "higher_is_better": False,
                 },
             },
         }

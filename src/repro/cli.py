@@ -11,6 +11,9 @@ Exposes the experiment harness without writing Python::
     python -m repro topology --degree 5       # inspect a mesh
     python -m repro validate --seeds 25       # fuzzer + differential oracle
     python -m repro profile --out prof.json   # phase/metric/sweep telemetry
+    python -m repro trace --packet 17         # hop-by-hop packet autopsy
+    python -m repro trace --timeline          # causal convergence timeline
+    python -m repro trace --dump flight.json  # read a post-mortem dump
 
 Use ``--paper-scale`` for the full 10-seed configuration; the default is the
 reduced quick profile.
@@ -165,6 +168,40 @@ def build_parser() -> argparse.ArgumentParser:
     narrate_p.add_argument("--seed", type=int, default=1)
     narrate_p.add_argument("--window", type=float, default=60.0,
                            help="seconds observed after the failure")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="flight-recorder forensics: packet autopsies, causal "
+             "convergence timeline, post-mortem dumps, Perfetto export",
+    )
+    trace_p.add_argument("--protocol", choices=PROTOCOL_NAMES, default="dbf")
+    trace_p.add_argument("--degree", type=int, default=4)
+    trace_p.add_argument("--seed", type=int, default=7)
+    trace_p.add_argument(
+        "--packet", type=int, metavar="ID",
+        help="print the hop-by-hop autopsy of one packet",
+    )
+    trace_p.add_argument(
+        "--timeline", action="store_true",
+        help="print only the causal convergence timeline",
+    )
+    trace_p.add_argument(
+        "--dump", metavar="FILE",
+        help="read records from a post-mortem flight dump instead of "
+             "running a scenario (the dump is schema-checked first)",
+    )
+    trace_p.add_argument(
+        "--out", metavar="FILE",
+        help="write the recorded rings as a flight dump here",
+    )
+    trace_p.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write Chrome trace-event JSON here (open in ui.perfetto.dev)",
+    )
+    trace_p.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed workload + dump schema self-check (CI smoke)",
+    )
 
     return parser
 
@@ -503,6 +540,143 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.flight import (
+        FlightRecorder,
+        build_causal_timeline,
+        build_dump,
+        check_dump,
+        dump_records,
+        format_autopsy,
+        format_causal_timeline,
+        load_dump,
+        packet_autopsies,
+        packet_autopsy,
+        perfetto_trace,
+        save_dump,
+        write_perfetto,
+    )
+
+    config = _config(args)
+    if args.smoke:
+        config = config.with_(post_fail_window=30.0)
+        if not args.out:
+            args.out = "trace-smoke-dump.json"
+
+    recorder = None
+    violations: list[str] = []
+    if args.dump:
+        dump = load_dump(args.dump)
+        problems = check_dump(dump)
+        if problems:
+            print(f"{args.dump} failed its dump self-check:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        rings = dump_records(dump)
+        packets = rings.get("packet", [])
+        routes = rings.get("route", [])
+        links = rings.get("link", [])
+        messages = rings.get("message", [])
+        meta = dump.get("meta", {})
+        origin = float(meta.get("fail_time") or 0.0)
+        violations = list(dump.get("violations") or ())
+        print(
+            f"flight dump {args.dump}: "
+            + ", ".join(f"{len(rings.get(k, []))} {k}" for k in
+                        ("packet", "route", "link", "message"))
+        )
+        if meta:
+            print("  " + " ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    else:
+        recorder = FlightRecorder()
+        result = run_scenario(
+            args.protocol, args.degree, args.seed, config, recorder=recorder
+        )
+        packets = recorder.records("packet")
+        routes = recorder.records("route")
+        links = recorder.records("link")
+        messages = recorder.records("message")
+        origin = config.fail_time if not config.cold_start else (
+            config.cold_warmup + config.fail_time
+        )
+        print(
+            f"protocol={result.protocol} degree={result.degree} "
+            f"seed={result.seed}: sent={result.sent} "
+            f"delivered={result.delivered} drops={result.total_drops}"
+        )
+        print(
+            f"recorded: {len(packets)} packet, {len(routes)} route, "
+            f"{len(links)} link, {len(messages)} message record(s)"
+        )
+    if violations:
+        print("violations:")
+        for v in violations:
+            print(f"  {v}")
+
+    if args.packet is not None:
+        try:
+            autopsy = packet_autopsy(packets, args.packet, routes)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        print()
+        print(format_autopsy(autopsy, origin=origin))
+    show_default = args.packet is None and not args.timeline
+    if args.timeline or show_default:
+        timeline = build_causal_timeline(
+            routes, messages, links, since=origin or None
+        )
+        print(f"\nCausal convergence timeline (t=0 at failure):\n")
+        print(format_causal_timeline(timeline, origin=origin))
+    if show_default:
+        # The forensically interesting packets: dropped or looped.
+        cases = [
+            a
+            for a in packet_autopsies(packets, routes).values()
+            if a.outcome == "dropped" or a.loop is not None
+        ]
+        if cases:
+            print(f"\n{len(cases)} dropped/looped packet(s); autopsies:\n")
+            for autopsy in cases[:3]:
+                print(format_autopsy(autopsy, origin=origin))
+                print()
+            if len(cases) > 3:
+                print(f"... {len(cases) - 3} more; use --packet ID")
+
+    rc = 0
+    if args.out:
+        if recorder is None:
+            print("note: --out ignored when reading from --dump")
+        else:
+            dump = build_dump(
+                recorder,
+                meta={
+                    "protocol": args.protocol,
+                    "degree": args.degree,
+                    "seed": args.seed,
+                    "fail_time": origin,
+                },
+            )
+            save_dump(dump, args.out)
+            problems = check_dump(load_dump(args.out))
+            if problems:
+                print(
+                    f"{args.out} failed its dump self-check:", file=sys.stderr
+                )
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                rc = 1
+            else:
+                print(f"\nflight dump written to {args.out} (self-check ok)")
+    if args.perfetto:
+        write_perfetto(
+            perfetto_trace(packets, routes, links, messages), args.perfetto
+        )
+        print(f"perfetto trace written to {args.perfetto}")
+    return rc
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.campaign import reproduce
 
@@ -526,6 +700,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "topology": _cmd_topology,
         "narrate": _cmd_narrate,
+        "trace": _cmd_trace,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
         "profile": _cmd_profile,

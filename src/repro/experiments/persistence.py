@@ -84,6 +84,7 @@ def scenario_to_dict(result: ScenarioResult) -> dict:
         "withdrawals": result.withdrawals,
         "violations": list(result.violations),
         "monitor_skips": dict(result.monitor_skips),
+        "dump_path": result.dump_path,
         "throughput": _series_to_dict(result.throughput),
         "delay": _series_to_dict(result.delay),
         "reordering": (
@@ -158,6 +159,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
         transient_path_count=data["transient_path_count"],
         violations=tuple(data.get("violations", ())),
         monitor_skips=dict(data.get("monitor_skips") or {}),
+        dump_path=data.get("dump_path"),
         throughput=_series_from_dict(data.get("throughput")),
         delay=_series_from_dict(data.get("delay")),
         messages=data["messages"],

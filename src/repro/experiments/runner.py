@@ -147,12 +147,18 @@ class PointResult:
 
 
 def _run_task(
-    protocol: str, degree: int, seed: int, config: ExperimentConfig
+    protocol: str,
+    degree: int,
+    seed: int,
+    config: ExperimentConfig,
+    dump_dir: Optional[str] = None,
 ) -> Outcome:
     """Run one seed, returning the result or a SweepFailure.
 
     Exceptions are converted to data (not re-raised) so one bad seed cannot
     tear down the pool or lose the identity of the seed that died.
+    ``dump_dir`` arms per-seed post-mortem flight dumps (see
+    :func:`repro.experiments.scenario.run_scenario`).
     """
     # Test-only pacing hook: slows each seed so the kill-and-resume tests
     # can deterministically interrupt a sweep mid-flight.  Inert when unset.
@@ -160,7 +166,7 @@ def _run_task(
     if pace:
         time.sleep(float(pace))
     try:
-        return run_scenario(protocol, degree, seed, config)
+        return run_scenario(protocol, degree, seed, config, dump_dir=dump_dir)
     except Exception as exc:  # noqa: BLE001 - must survive arbitrary seed crashes
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
@@ -197,7 +203,13 @@ def _fault_injection(protocol: str, degree: int, seed: int) -> None:
             os._exit(43)
 
 
-def _worker_main(task_q, result_q, config: ExperimentConfig, parent_pid: int) -> None:
+def _worker_main(
+    task_q,
+    result_q,
+    config: ExperimentConfig,
+    parent_pid: int,
+    dump_dir: Optional[str] = None,
+) -> None:
     """Long-lived pool worker: pull tasks, push (task, outcome) tuples.
 
     SIGINT is ignored so Ctrl-C interrupts only the supervisor, which then
@@ -220,7 +232,7 @@ def _worker_main(task_q, result_q, config: ExperimentConfig, parent_pid: int) ->
         protocol, degree, seed = task
         _fault_injection(protocol, degree, seed)
         started = time.perf_counter()
-        outcome = _run_task(protocol, degree, seed, config)
+        outcome = _run_task(protocol, degree, seed, config, dump_dir)
         elapsed = time.perf_counter() - started
         try:
             result_q.put((protocol, degree, seed, outcome, elapsed))
@@ -249,6 +261,7 @@ def _execute_supervised(
     retry_backoff: float,
     on_outcome: Callable[[Task, Outcome], None],
     on_timing: Optional[TimingCallback] = None,
+    dump_dir: Optional[str] = None,
 ) -> None:
     """Run ``tasks`` on a supervised pool, reporting each outcome as it lands.
 
@@ -286,7 +299,7 @@ def _execute_supervised(
         task_q = ctx.Queue()
         proc = ctx.Process(
             target=_worker_main,
-            args=(task_q, result_q, config, os.getpid()),
+            args=(task_q, result_q, config, os.getpid(), dump_dir),
             daemon=True,
         )
         proc.start()
@@ -526,6 +539,7 @@ def run_sweep(
     retry_backoff: float = 0.5,
     progress: Optional[Callable[[int, int, str], None]] = None,
     telemetry=None,
+    dump_dir: Optional[str] = None,
 ) -> dict[tuple[str, int], PointResult]:
     """Full (protocol x degree) sweep; keys are (protocol, degree).
 
@@ -556,6 +570,14 @@ def run_sweep(
     With a store attached, each seed's timing is also appended to the shard
     log as a ``{"kind": "telemetry"}`` record; result loading skips those, so
     telemetry never perturbs resumed-sweep identity.
+
+    Post-mortems: ``dump_dir`` names a directory for per-seed flight dumps
+    written whenever a validation monitor fires (see
+    :func:`repro.experiments.scenario.run_scenario`).  For validated sweeps
+    with a store attached it defaults to the store's own directory, so
+    dumps land next to the sweep checkpoint they explain;
+    ``ScenarioResult.dump_path`` (persisted in the shard log) names each
+    file.
     """
     config = config or ExperimentConfig.quick()
     grid = config.grid()
@@ -568,6 +590,8 @@ def run_sweep(
         store.open(config)
         outcomes: dict[Task, Outcome] = store.load_outcomes()
         todo = [task for task in grid if task not in outcomes]
+        if dump_dir is None and config.validate:
+            dump_dir = store.directory
     else:
         outcomes = {}
         todo = list(grid)
@@ -613,7 +637,7 @@ def run_sweep(
             if workers <= 1 and timeout is None:
                 for task in todo:
                     started = time.perf_counter()
-                    outcome = _run_task(*task, config)
+                    outcome = _run_task(*task, config, dump_dir)
                     elapsed = time.perf_counter() - started
                     on_outcome(task, outcome)
                     on_timing(
@@ -624,6 +648,7 @@ def run_sweep(
                     todo, config, workers, timeout, retries, retry_backoff,
                     on_outcome,
                     on_timing=None if telemetry is None else on_timing,
+                    dump_dir=dump_dir,
                 )
     except (KeyboardInterrupt, SystemExit):
         # Graceful interrupt: everything already completed is flushed (and

@@ -9,6 +9,7 @@ measured until the post-failure window closes.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -21,6 +22,7 @@ from ..metrics.timeseries import BinnedSeries, delay_series, throughput_series
 from ..net.failure import FailureInjector
 from ..net.network import Network
 from ..net.node import Node
+from ..obs.flight import FlightRecorder, build_dump, save_dump
 from ..obs.profiler import NULL_PROFILER
 from ..routing.bgp import BgpConfig, BgpProtocol
 from ..routing.damping import DampingConfig
@@ -83,6 +85,8 @@ class ScenarioResult:
     violations: tuple[str, ...] = ()
     # Monitors that declined to judge this run: name -> reason.
     monitor_skips: dict[str, str] = field(default_factory=dict)
+    # Post-mortem flight dump written because a monitor fired (None otherwise).
+    dump_path: Optional[str] = None
 
     @property
     def total_drops(self) -> int:
@@ -198,6 +202,8 @@ def run_scenario(
     config: Optional[ExperimentConfig] = None,
     monitors: Optional[object] = None,
     obs: Optional[object] = None,
+    recorder: Optional[FlightRecorder] = None,
+    dump_dir: Optional[str] = None,
 ) -> ScenarioResult:
     """Run one complete experiment and return all measurements.
 
@@ -211,8 +217,19 @@ def run_scenario(
     convergence / drain) and its registry the run's metrics.  Observation is
     read-only — it never touches simulated time or RNG streams — so results
     are bit-identical with and without it (pinned by the golden on/off test).
+
+    ``recorder`` is an optional :class:`repro.obs.FlightRecorder`; it is
+    attached to the run's bus (capturing warm-start route installs too) and
+    detached before return, rings left readable for autopsies/timelines.
+    ``dump_dir`` arms post-mortems: if any monitor fires, the recorder's
+    rings are snapshotted to a versioned JSON dump there (a recorder is
+    created on the fly when only ``dump_dir`` is given) and
+    ``ScenarioResult.dump_path`` names the file.  Like ``obs``, recording is
+    read-only and does not perturb results.
     """
     config = config or ExperimentConfig.quick()
+    if recorder is None and dump_dir is not None:
+        recorder = FlightRecorder()
     if monitors is None and config.validate:
         from ..validation.monitors import MonitorSuite
 
@@ -237,17 +254,19 @@ def run_scenario(
 
         # --- live network ----------------------------------------------------
         sim = Simulator()
-        bus = TraceBus(keep_routes=False)
+        bus = TraceBus(keep_routes=False, keep_links=False)
         if obs is not None:
             obs.attach(bus)
+        if recorder is not None:
+            recorder.attach(bus)
         network = Network(
             sim,
             topo,
             bus,
             queue_capacity=config.queue_capacity,
             record_paths=config.record_paths,
-            # Monitors want the hop-by-hop TTL view.
-            record_forwards=monitors is not None,
+            # Monitors and the flight recorder want the hop-by-hop TTL view.
+            record_forwards=monitors is not None or recorder is not None,
             priority_control=config.prioritize_control,
         )
         factory = make_protocol_factory(protocol, network, rng_streams, topo, config)
@@ -368,6 +387,31 @@ def run_scenario(
         if monitors is not None:
             result.violations = tuple(str(v) for v in monitors.finalize())
             result.monitor_skips = dict(monitors.skips)
+        if result.violations and recorder is not None and dump_dir is not None:
+            os.makedirs(dump_dir, exist_ok=True)
+            dump = build_dump(
+                recorder,
+                meta={
+                    "protocol": protocol,
+                    "degree": degree,
+                    "seed": seed,
+                    "sender": sender,
+                    "receiver": receiver,
+                    "failed_link": list(failed),
+                    "fail_time": fail_at,
+                    "detect_time": detect_at,
+                    "end_time": end_at,
+                },
+                violations=result.violations,
+                counters=bus.counters.as_dict(),
+            )
+            path = os.path.join(
+                dump_dir, f"flight-{protocol}-d{degree}-s{seed}.json"
+            )
+            save_dump(dump, path)
+            result.dump_path = path
+    if recorder is not None:
+        recorder.close()
     drop_counter.close()
     message_counter.close()
     if obs is not None:

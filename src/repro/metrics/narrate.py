@@ -82,22 +82,78 @@ def _path_events(snapshots: Iterable[PathSnapshot]) -> list[TimelineEvent]:
 
 
 def _drop_bursts(
-    packets: Iterable[PacketRecord], bin_width: float = 1.0
+    autopsies: dict, bin_width: float = 1.0
 ) -> list[TimelineEvent]:
-    """Aggregate drop records into per-second bursts by cause."""
+    """Aggregate each packet's terminal drop into per-second bursts by cause."""
     bins: dict[tuple[int, DropCause], int] = {}
-    for p in packets:
-        if p.kind != "drop" or p.cause is None:
+    for autopsy in autopsies.values():
+        if autopsy.outcome != "dropped" or autopsy.drop_cause is None:
             continue
-        key = (int(p.time // bin_width), p.cause)
+        t = autopsy.hops[-1].time
+        key = (int(t // bin_width), autopsy.drop_cause)
         bins[key] = bins.get(key, 0) + 1
     events = []
-    for (bin_idx, cause), count in sorted(bins.items()):
+    for (bin_idx, cause), count in sorted(
+        bins.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
         events.append(
             TimelineEvent(
                 time=bin_idx * bin_width,
                 kind="drops",
                 text=f"{count} packet(s) dropped ({cause.value}) in [{bin_idx}s, {bin_idx + 1}s)",
+            )
+        )
+    return events
+
+
+def _loop_events(autopsies: dict) -> list[TimelineEvent]:
+    """Narrate transient forwarding loops, one event per distinct cycle."""
+    cycles: dict[tuple[int, ...], list] = {}
+    for autopsy in autopsies.values():
+        if autopsy.loop is None:
+            continue
+        t = autopsy.hops[-1].time
+        info = cycles.setdefault(autopsy.loop, [t, 0, 0])
+        info[0] = min(info[0], t)
+        if autopsy.outcome == "delivered":
+            info[2] += 1
+        else:
+            info[1] += 1
+    events = []
+    for cycle, (first, caught, escaped) in sorted(
+        cycles.items(), key=lambda kv: kv[1][0]
+    ):
+        route = " -> ".join(map(str, cycle))
+        events.append(
+            TimelineEvent(
+                time=first,
+                kind="loop",
+                text=(
+                    f"transient loop {route}: {caught} packet(s) caught, "
+                    f"{escaped} escaped"
+                ),
+            )
+        )
+    return events
+
+
+def _blackhole_events(autopsies: dict) -> list[TimelineEvent]:
+    """Narrate blackholes: nodes that dropped packets for want of a route."""
+    holes: dict[int, list] = {}
+    for autopsy in autopsies.values():
+        if autopsy.drop_cause is not DropCause.NO_ROUTE:
+            continue
+        last = autopsy.hops[-1]
+        info = holes.setdefault(last.node, [last.time, 0])
+        info[0] = min(info[0], last.time)
+        info[1] += 1
+    events = []
+    for node, (first, count) in sorted(holes.items(), key=lambda kv: kv[1][0]):
+        events.append(
+            TimelineEvent(
+                time=first,
+                kind="blackhole",
+                text=f"node {node} blackholed {count} packet(s) (no route)",
             )
         )
     return events
@@ -111,12 +167,25 @@ def build_timeline(
     dest: Optional[int] = None,
     since: float = 0.0,
 ) -> list[TimelineEvent]:
-    """Merge trace records into one chronological annotated timeline."""
+    """Merge trace records into one chronological annotated timeline.
+
+    Packet-derived narration (drop bursts, loop and blackhole callouts) is
+    built on :func:`repro.obs.flight.packet_autopsies` — the same per-packet
+    reconstruction ``repro trace`` prints — so the timeline and an autopsy
+    can never disagree about what happened to a packet.
+    """
+    # Deferred import: repro.obs.flight pulls in repro.metrics submodules,
+    # so a module-level import here would cycle through the package inits.
+    from ..obs.flight import packet_autopsies
+
+    autopsies = packet_autopsies(packets)
     events = (
         _route_events(route_changes, dest)
         + _link_events(link_events)
         + _path_events(snapshots)
-        + _drop_bursts(packets)
+        + _drop_bursts(autopsies)
+        + _loop_events(autopsies)
+        + _blackhole_events(autopsies)
     )
     events = [e for e in events if e.time >= since]
     events.sort(key=lambda e: (e.time, e.kind))

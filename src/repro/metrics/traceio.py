@@ -9,7 +9,8 @@ across runs — and reads them back into the same record types.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Iterator, Union
+import warnings
+from typing import IO, Callable, Iterable, Iterator, Optional, Union
 
 from ..sim.tracing import (
     DropCause,
@@ -36,6 +37,7 @@ def _encode(record: Record) -> dict:
             "flow_id": record.flow_id,
             "ttl": record.ttl,
             "cause": record.cause.value if record.cause else None,
+            "dst": record.dst,
         }
     if isinstance(record, RouteChangeRecord):
         return {
@@ -45,6 +47,7 @@ def _encode(record: Record) -> dict:
             "dest": record.dest,
             "old_next_hop": record.old_next_hop,
             "new_next_hop": record.new_next_hop,
+            "cause": list(record.cause) if record.cause is not None else None,
         }
     if isinstance(record, LinkEventRecord):
         return {
@@ -79,14 +82,17 @@ def _decode(data: dict) -> Record:
             flow_id=data["flow_id"],
             ttl=data["ttl"],
             cause=DropCause(data["cause"]) if data.get("cause") else None,
+            dst=data.get("dst"),
         )
     if kind == "route":
+        cause = data.get("cause")
         return RouteChangeRecord(
             time=data["time"],
             node=data["node"],
             dest=data["dest"],
             old_next_hop=data["old_next_hop"],
             new_next_hop=data["new_next_hop"],
+            cause=(cause[0], cause[1]) if cause is not None else None,
         )
     if kind == "link":
         return LinkEventRecord(
@@ -117,12 +123,36 @@ def write_trace(records: Iterable[Record], fp: IO[str]) -> int:
     return count
 
 
-def read_trace(fp: IO[str]) -> Iterator[Record]:
-    """Yield records from a JSONL trace file."""
+def read_trace(
+    fp: IO[str],
+    strict: bool = True,
+    on_skip: Optional[Callable[[dict], None]] = None,
+) -> Iterator[Record]:
+    """Yield records from a JSONL trace file.
+
+    With ``strict=False``, records of an unknown ``type`` (written by a newer
+    reader of this format) are skipped with one :mod:`warnings` warning each
+    instead of raising — mirroring the sweep store's telemetry-record skip.
+    ``on_skip``, if given, is called with each skipped record's raw dict
+    (so callers can count or log them) in place of the warning.
+    """
     for line in fp:
         line = line.strip()
-        if line:
-            yield _decode(json.loads(line))
+        if not line:
+            continue
+        data = json.loads(line)
+        try:
+            yield _decode(data)
+        except ValueError:
+            if strict:
+                raise
+            if on_skip is not None:
+                on_skip(data)
+            else:
+                warnings.warn(
+                    f"skipping trace record of unknown type {data.get('type')!r}",
+                    stacklevel=2,
+                )
 
 
 def export_bus(bus: TraceBus, path: str) -> int:

@@ -15,9 +15,12 @@ Drop accounting:
 Hot-path notes: every deliver/forward/drop bumps the bus's always-on integer
 counters, but full :class:`~repro.sim.tracing.PacketRecord` objects are only
 constructed when the bus's ``wants_packet`` guard says someone is listening.
-Transmission goes through a precomputed per-neighbor dispatch table
-(``neighbor id -> channel.send``) so the FIB lookup resolves straight to the
-outgoing channel without re-walking Link internals per packet.
+When they are, records are built with ``tuple.__new__`` (they are
+NamedTuples), skipping the generated ``__new__``'s extra Python call — at a
+flight-recorder-grade record rate that call is the single largest
+instrumentation cost.  Transmission goes through a precomputed per-neighbor
+dispatch table (``neighbor id -> channel.send``) so the FIB lookup resolves
+straight to the outgoing channel without re-walking Link internals per packet.
 """
 
 from __future__ import annotations
@@ -28,6 +31,8 @@ from ..sim.engine import Simulator
 from ..sim.tracing import DropCause, PacketRecord, RouteChangeRecord, TraceBus
 from .packet import Packet
 from .link import Link
+
+_new = tuple.__new__
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..routing.base import RoutingProtocol
@@ -58,6 +63,7 @@ class Node:
         "originated",
         "forwarded",
         "drops",
+        "route_cause",
         "_tx",
     )
 
@@ -85,6 +91,10 @@ class Node:
         self.originated = 0
         self.forwarded = 0
         self.drops: dict[DropCause, int] = {cause: 0 for cause in DropCause}
+        #: Control-plane scope marker: while a protocol event is being
+        #: applied (see ``RoutingProtocol.route_cause``), names the event so
+        #: route-change records can attribute FIB flips causally.
+        self.route_cause: Optional[tuple[str, Optional[int]]] = None
 
     # ------------------------------------------------------------------ wiring
 
@@ -135,15 +145,12 @@ class Node:
         bus = self.bus
         bus.counters.route_changes += 1
         if bus.wants_route:
-            bus.publish(
-                RouteChangeRecord(
-                    time=self.sim.now,
-                    node=self.id,
-                    dest=dest,
-                    old_next_hop=old,
-                    new_next_hop=next_hop,
-                )
-            )
+            # Fields: (time, node, dest, old_next_hop, new_next_hop, cause).
+            # sim._now skips the ``now`` property call — guarded record
+            # construction is the one place that cost is measurable.
+            bus.publish(_new(RouteChangeRecord, (
+                self.sim._now, self.id, dest, old, next_hop, self.route_cause,
+            )))
 
     # ------------------------------------------------------------- data plane
 
@@ -158,16 +165,11 @@ class Node:
         bus = self.bus
         bus.counters.sends += 1
         if bus.wants_packet:
-            bus.publish(
-                PacketRecord(
-                    time=self.sim.now,
-                    kind="send",
-                    packet_id=packet.packet_id,
-                    node=self.id,
-                    flow_id=packet.flow_id,
-                    ttl=packet.ttl,
-                )
-            )
+            # Fields: (time, kind, packet_id, node, flow_id, ttl, cause, dst)
+            bus.publish(_new(PacketRecord, (
+                self.sim._now, "send", packet.packet_id, self.id,
+                packet.flow_id, packet.ttl, None, packet.dst,
+            )))
         if packet.dst == self.id:
             self._deliver_local(packet)
             return
@@ -177,7 +179,11 @@ class Node:
         """Entry point for packets arriving off a link."""
         if packet.is_control:
             if self.protocol is not None:
-                self.protocol.handle_message(packet.payload, from_node)
+                self.route_cause = ("message", from_node)
+                try:
+                    self.protocol.handle_message(packet.payload, from_node)
+                finally:
+                    self.route_cause = None
             return
         if packet.dst == self.id:
             self._deliver_local(packet)
@@ -194,16 +200,10 @@ class Node:
         bus = self.bus
         bus.counters.forwards += 1
         if self.record_forwards and bus.wants_packet:
-            bus.publish(
-                PacketRecord(
-                    time=self.sim.now,
-                    kind="forward",
-                    packet_id=packet.packet_id,
-                    node=self.id,
-                    flow_id=packet.flow_id,
-                    ttl=packet.ttl,
-                )
-            )
+            bus.publish(_new(PacketRecord, (
+                self.sim._now, "forward", packet.packet_id, self.id,
+                packet.flow_id, packet.ttl, None, packet.dst,
+            )))
         self.forwarded += 1
         self._lookup_and_transmit(packet)
 
@@ -225,16 +225,10 @@ class Node:
         bus = self.bus
         bus.counters.delivers += 1
         if bus.wants_packet:
-            bus.publish(
-                PacketRecord(
-                    time=self.sim.now,
-                    kind="deliver",
-                    packet_id=packet.packet_id,
-                    node=self.id,
-                    flow_id=packet.flow_id,
-                    ttl=packet.ttl,
-                )
-            )
+            bus.publish(_new(PacketRecord, (
+                self.sim._now, "deliver", packet.packet_id, self.id,
+                packet.flow_id, packet.ttl, None, packet.dst,
+            )))
         for app in self.apps:
             app.on_packet(packet, self)
 
@@ -245,17 +239,10 @@ class Node:
             bus = self.bus
             bus.counters.drops += 1
             if bus.wants_packet:
-                bus.publish(
-                    PacketRecord(
-                        time=self.sim.now,
-                        kind="drop",
-                        packet_id=packet.packet_id,
-                        node=self.id,
-                        flow_id=packet.flow_id,
-                        ttl=packet.ttl,
-                        cause=cause,
-                    )
-                )
+                bus.publish(_new(PacketRecord, (
+                    self.sim._now, "drop", packet.packet_id, self.id,
+                    packet.flow_id, packet.ttl, cause, packet.dst,
+                )))
 
     # ---------------------------------------------------------- control plane
 
@@ -280,11 +267,19 @@ class Node:
     def on_link_down(self, neighbor: int) -> None:
         """Failure detection fired for the link to ``neighbor``."""
         if self.protocol is not None:
-            self.protocol.handle_link_down(neighbor)
+            self.route_cause = ("link_down", neighbor)
+            try:
+                self.protocol.handle_link_down(neighbor)
+            finally:
+                self.route_cause = None
 
     def on_link_up(self, neighbor: int) -> None:
         if self.protocol is not None:
-            self.protocol.handle_link_up(neighbor)
+            self.route_cause = ("link_up", neighbor)
+            try:
+                self.protocol.handle_link_up(neighbor)
+            finally:
+                self.route_cause = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.id} nbrs={self.neighbors()}>"

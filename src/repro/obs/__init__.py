@@ -17,9 +17,32 @@ Three pieces, designed to cost nothing when idle:
 
 ``python -m repro profile`` ties them together into one schema-checked JSON
 report (see :mod:`repro.obs.report` and ``docs/observability.md``).
+
+A fourth piece, the forensic layer (:mod:`repro.obs.flight`): the
+:class:`FlightRecorder` keeps bounded rings of trace records, reconstructs
+per-packet autopsies and the causal convergence timeline, and snapshots
+post-mortem dumps when a validation monitor fires.  ``python -m repro
+trace`` is its CLI; see ``docs/tracing.md``.
 """
 
 from .collect import ProtocolTraffic, RunObservation
+from .flight import (
+    CausalTimeline,
+    FlightRecorder,
+    PacketAutopsy,
+    build_causal_timeline,
+    build_dump,
+    check_dump,
+    dump_records,
+    format_autopsy,
+    format_causal_timeline,
+    load_dump,
+    packet_autopsies,
+    packet_autopsy,
+    perfetto_trace,
+    save_dump,
+    write_perfetto,
+)
 from .profiler import NULL_PROFILER, PhaseProfiler, Span
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
@@ -32,10 +55,25 @@ from .report import (
 from .sweeps import SeedTiming, SweepTelemetry
 
 __all__ = [
+    "CausalTimeline",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PacketAutopsy",
+    "build_causal_timeline",
+    "build_dump",
+    "check_dump",
+    "dump_records",
+    "format_autopsy",
+    "format_causal_timeline",
+    "load_dump",
+    "packet_autopsies",
+    "packet_autopsy",
+    "perfetto_trace",
+    "save_dump",
+    "write_perfetto",
     "PhaseProfiler",
     "Span",
     "NULL_PROFILER",

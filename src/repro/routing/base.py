@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Optional
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
 
 from ..net.node import Node
 from ..sim.engine import Simulator
@@ -62,6 +63,38 @@ class RoutingProtocol(abc.ABC):
     def handle_link_up(self, neighbor: int) -> None:
         """The link to ``neighbor`` came (back) up.  Default: ignore."""
 
+    # ----------------------------------------------------- causal attribution
+
+    @contextmanager
+    def route_cause(self, kind: str, peer: Optional[int] = None) -> Iterator[None]:
+        """Scope during which FIB changes are attributed to ``(kind, peer)``.
+
+        ``node.set_next_hop`` stamps the current scope onto every
+        :class:`~repro.sim.tracing.RouteChangeRecord` it publishes, which is
+        what lets the flight recorder link a routing-protocol message to the
+        FIB flips it triggered.  Scopes nest; the previous cause is restored
+        on exit.  Control-plane only — the data hot path never enters one.
+        """
+        node = self.node
+        previous = node.route_cause
+        node.route_cause = (kind, peer)
+        try:
+            yield
+        finally:
+            node.route_cause = previous
+
+    def apply_message(self, payload: Any, from_node: int) -> None:
+        """Apply a neighbor's message with causal attribution.
+
+        Delivery paths that bypass ``Node.receive`` (BGP's and DUAL's
+        reliable channels hand payloads straight to the peer protocol) call
+        this instead of :meth:`handle_message` so the change still lands in
+        a ``("message", from_node)`` cause scope.  ``Node.receive`` sets the
+        scope itself, keeping duck-typed protocol stand-ins workable.
+        """
+        with self.route_cause("message", from_node):
+            self.handle_message(payload, from_node)
+
     # -------------------------------------------------------------- inspection
 
     @abc.abstractmethod
@@ -98,14 +131,10 @@ class RoutingProtocol(abc.ABC):
         bus = self.node.bus
         bus.counters.messages += 1
         if bus.wants_message:
-            bus.publish(
-                MessageRecord(
-                    time=self.sim.now,
-                    sender=self.node.id,
-                    receiver=neighbor,
-                    protocol=self.name,
-                    n_routes=n_routes,
-                    is_withdrawal=is_withdrawal,
-                    size_bytes=size_bytes,
-                )
-            )
+            # Fields: (time, sender, receiver, protocol, n_routes,
+            # is_withdrawal, size_bytes); tuple.__new__ skips the generated
+            # NamedTuple __new__ on this per-message path.
+            bus.publish(tuple.__new__(MessageRecord, (
+                self.sim._now, self.node.id, neighbor, self.name,
+                n_routes, is_withdrawal, size_bytes,
+            )))

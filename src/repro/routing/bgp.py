@@ -161,9 +161,11 @@ class BgpProtocol(RoutingProtocol):
         self.rib_out.setdefault(neighbor, {})
 
     def _deliver_to(self, neighbor: int, payload: Any) -> None:
+        # BGP bypasses Node.receive (messages ride the reliable channel), so
+        # causal attribution has to happen here, on the receiving protocol.
         peer = self._network.node(neighbor).protocol
         if peer is not None:
-            peer.handle_message(payload, self.node.id)
+            peer.apply_message(payload, self.node.id)
 
     # ------------------------------------------------------------------ events
 
@@ -218,8 +220,9 @@ class BgpProtocol(RoutingProtocol):
 
     def _damping_reuse(self, key) -> None:
         _, dest = key
-        if self._reselect(dest):
-            self._export_all(dest)
+        with self.route_cause("damping_reuse", dest):
+            if self._reselect(dest):
+                self._export_all(dest)
         self._flush_batch()
 
     def handle_link_down(self, neighbor: int) -> None:

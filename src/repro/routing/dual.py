@@ -199,7 +199,7 @@ class DualProtocol(RoutingProtocol):
     def _deliver_to(self, neighbor: int, payload: Any) -> None:
         peer = self._network.node(neighbor).protocol
         if peer is not None:
-            peer.handle_message(payload, self.node.id)
+            peer.apply_message(payload, self.node.id)
 
     def _state(self, dest: int) -> _DestState:
         state = self.states.get(dest)

@@ -226,9 +226,10 @@ class DistanceVectorProtocol(RoutingProtocol):
             return
         idle = self.sim.now - route.updated_at
         if idle >= self.config.route_timeout:
-            changed = self._route_timed_out(dest)
-            if changed:
-                self._routes_changed(changed)
+            with self.route_cause("timeout", dest):
+                changed = self._route_timed_out(dest)
+                if changed:
+                    self._routes_changed(changed)
         else:
             handle = self.sim.schedule(
                 self.config.route_timeout - idle, lambda: self._check_timeout(dest)

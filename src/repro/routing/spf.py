@@ -87,6 +87,10 @@ class SpfProtocol(RoutingProtocol):
         #: Precomputed loop-free alternate next hop per destination.
         self.backups: dict[int, int] = {}
         self._spf_timer = OneShotTimer(self.sim, self._recompute)
+        #: Cause of the event that scheduled the pending recompute (a
+        #: throttled SPF run fires from a timer, after the triggering
+        #: message's cause scope has closed — so it is captured here).
+        self._recompute_cause: Optional[tuple[str, Optional[int]]] = None
         self.recomputations = 0
         self.lfa_activations = 0
 
@@ -164,6 +168,8 @@ class SpfProtocol(RoutingProtocol):
         self._record_message(neighbor, 1, size_bytes=lsa.size_bytes)
 
     def _schedule_recompute(self) -> None:
+        # Latest trigger wins; good enough for attribution of a batched run.
+        self._recompute_cause = self.node.route_cause
         if self.config.spf_delay <= 0:
             self._recompute()
         elif not self._spf_timer.running:
@@ -186,6 +192,12 @@ class SpfProtocol(RoutingProtocol):
 
     def _recompute(self) -> None:
         """Dijkstra over the database; sync the FIB (and LFA backups)."""
+        cause = self._recompute_cause or ("spf_recompute", None)
+        self._recompute_cause = None
+        with self.route_cause(*cause):
+            self._recompute_inner()
+
+    def _recompute_inner(self) -> None:
         self.recomputations += 1
         graph = self._graph()
         paths = shortest_path_tree(graph, self.node.id)

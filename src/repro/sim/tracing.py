@@ -23,8 +23,7 @@ per event.  Collectors therefore MUST register through :meth:`TraceBus.subscribe
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import Callable, NamedTuple, Optional, Union
 
 __all__ = [
     "DropCause",
@@ -46,13 +45,21 @@ class DropCause(enum.Enum):
     LINK_DOWN = "link_down"  # in flight on (or sent into) a failed link
 
 
-@dataclass(frozen=True)
-class PacketRecord:
+# Records are NamedTuples, not frozen dataclasses: construction is the trace
+# layer's real hot-path cost (one record per packet event when a recorder is
+# attached), and tuple.__new__ is ~4x cheaper than a frozen dataclass
+# __init__'s per-field object.__setattr__ calls.  Hot producers (Node,
+# set_next_hop) construct them positionally for the same reason.
+
+
+class PacketRecord(NamedTuple):
     """One packet lifecycle event.
 
     ``kind`` is one of ``"send"`` (entered the network at the source),
     ``"forward"`` (relayed by a router), ``"deliver"`` (reached the sink) or
-    ``"drop"``.
+    ``"drop"``.  ``dst`` is the packet's destination node, letting an
+    after-the-fact autopsy reconstruct the FIB entry each hop consulted
+    (None for records written before the field existed).
     """
 
     time: float
@@ -62,21 +69,30 @@ class PacketRecord:
     flow_id: int
     ttl: int
     cause: Optional[DropCause] = None
+    dst: Optional[int] = None
 
 
-@dataclass(frozen=True)
-class RouteChangeRecord:
-    """A node's FIB next hop for ``dest`` changed (None = unreachable)."""
+class RouteChangeRecord(NamedTuple):
+    """A node's FIB next hop for ``dest`` changed (None = unreachable).
+
+    ``cause`` attributes the change to the control-plane event that applied
+    it: ``("message", sender)`` for an update from a neighbor,
+    ``("link_down"/"link_up", neighbor)`` for failure-detection callbacks,
+    ``("timeout", dest)`` for route aging, ``("damping_reuse", dest)`` for a
+    damped route coming back, ``("spf_recompute", None)`` and friends for
+    deferred recomputation.  None when the change happened outside any
+    attributed scope (warm start, hand-set FIBs).
+    """
 
     time: float
     node: int
     dest: int
     old_next_hop: Optional[int]
     new_next_hop: Optional[int]
+    cause: Optional[tuple[str, Optional[int]]] = None
 
 
-@dataclass(frozen=True)
-class LinkEventRecord:
+class LinkEventRecord(NamedTuple):
     """A link changed operational state (``up`` True/False)."""
 
     time: float
@@ -85,9 +101,12 @@ class LinkEventRecord:
     up: bool
 
 
-@dataclass(frozen=True)
-class MessageRecord:
-    """A routing-protocol message was sent (for overhead accounting)."""
+class MessageRecord(NamedTuple):
+    """A routing-protocol message was sent (for overhead accounting).
+
+    ``size_bytes`` is the on-the-wire size (0 when the sender did not
+    report it).
+    """
 
     time: float
     sender: int
@@ -95,7 +114,6 @@ class MessageRecord:
     protocol: str
     n_routes: int
     is_withdrawal: bool = False
-    #: On-the-wire size of the message (0 when the sender did not report it).
     size_bytes: int = 0
 
 
@@ -151,10 +169,13 @@ class TraceCounters:
 class TraceBus:
     """Publish/subscribe hub for trace records, organized per kind.
 
-    ``keep_packets`` / ``keep_routes`` / ``keep_messages`` control whether the
-    bus also retains full record lists for after-the-fact analysis (hop path
-    reconstruction, loop detection).  Subscribers always see every record of
-    their kind.
+    ``keep_packets`` / ``keep_routes`` / ``keep_links`` / ``keep_messages``
+    control whether the bus also retains full record lists for
+    after-the-fact analysis (hop path reconstruction, loop detection).
+    Subscribers always see every record of their kind.  ``keep_links``
+    defaults True — link transitions are rare and the narration tools read
+    them off the bus — but sweeps that want a fully quiet bus can turn it
+    off like any other kind.
 
     The ``wants_packet`` / ``wants_route`` / ``wants_link`` / ``wants_message``
     attributes are the hot-path guards: True iff some subscriber or retention
@@ -165,12 +186,17 @@ class TraceBus:
     __slots__ = (
         "_keep_packets",
         "_keep_routes",
+        "_keep_links",
         "_keep_messages",
         "packets",
         "route_changes",
         "link_events",
         "messages",
         "_subs",
+        "_packet_subs",
+        "_route_subs",
+        "_link_subs",
+        "_message_subs",
         "wants_packet",
         "wants_route",
         "wants_link",
@@ -183,9 +209,11 @@ class TraceBus:
         keep_packets: bool = False,
         keep_routes: bool = True,
         keep_messages: bool = False,
+        keep_links: bool = True,
     ) -> None:
         self._keep_packets = keep_packets
         self._keep_routes = keep_routes
+        self._keep_links = keep_links
         self._keep_messages = keep_messages
         self.packets: list[PacketRecord] = []
         self.route_changes: list[RouteChangeRecord] = []
@@ -194,6 +222,13 @@ class TraceBus:
         self._subs: dict[str, list[Callable[[object], None]]] = {
             kind: [] for kind in TRACE_KINDS
         }
+        # Aliases of the _subs lists, cached as slots so ``publish`` skips a
+        # dict lookup per record.  subscribe/unsubscribe mutate the lists in
+        # place, so the aliases never go stale.
+        self._packet_subs = self._subs["packet"]
+        self._route_subs = self._subs["route"]
+        self._link_subs = self._subs["link"]
+        self._message_subs = self._subs["message"]
         self.counters = TraceCounters()
         self._refresh_guards()
 
@@ -218,6 +253,15 @@ class TraceBus:
         self._refresh_guards()
 
     @property
+    def keep_links(self) -> bool:
+        return self._keep_links
+
+    @keep_links.setter
+    def keep_links(self, value: bool) -> None:
+        self._keep_links = value
+        self._refresh_guards()
+
+    @property
     def keep_messages(self) -> bool:
         return self._keep_messages
 
@@ -230,8 +274,7 @@ class TraceBus:
         subs = self._subs
         self.wants_packet = bool(subs["packet"]) or self._keep_packets
         self.wants_route = bool(subs["route"]) or self._keep_routes
-        # Link up/down transitions are rare and always retained.
-        self.wants_link = True
+        self.wants_link = bool(subs["link"]) or self._keep_links
         self.wants_message = bool(subs["message"]) or self._keep_messages
 
     # ----------------------------------------------------------- subscribing
@@ -305,18 +348,19 @@ class TraceBus:
         if cls is PacketRecord:
             if self._keep_packets:
                 self.packets.append(record)
-            subscribers = self._subs["packet"]
+            subscribers = self._packet_subs
         elif cls is RouteChangeRecord:
             if self._keep_routes:
                 self.route_changes.append(record)
-            subscribers = self._subs["route"]
+            subscribers = self._route_subs
         elif cls is LinkEventRecord:
-            self.link_events.append(record)
-            subscribers = self._subs["link"]
+            if self._keep_links:
+                self.link_events.append(record)
+            subscribers = self._link_subs
         elif cls is MessageRecord:
             if self._keep_messages:
                 self.messages.append(record)
-            subscribers = self._subs["message"]
+            subscribers = self._message_subs
         else:
             return
         for handler in subscribers:

@@ -72,6 +72,17 @@ class TestScenarioRoundTrip:
         second = scenario_to_dict(scenario_from_dict(first))
         assert first == second
 
+    def test_dump_path_survives(self):
+        original = run_scenario("dbf", 4, 1, TINY)
+        original.dump_path = "/tmp/sweep/flight-dbf-d4-s1.json"
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.dump_path == original.dump_path
+
+    def test_dump_path_absent_in_old_files_loads_as_none(self):
+        data = scenario_to_dict(run_scenario("dbf", 4, 1, TINY))
+        del data["dump_path"]
+        assert scenario_from_dict(data).dump_path is None
+
     def test_empty_expected_final_path_not_collapsed_to_none(self):
         data = scenario_to_dict(run_scenario("dbf", 4, 1, TINY))
         data["expected_final_path"] = []

@@ -11,8 +11,14 @@ def route(t, node, dest, old, new):
     return RouteChangeRecord(time=t, node=node, dest=dest, old_next_hop=old, new_next_hop=new)
 
 
+_drop_ids = iter(range(1, 1000))
+
+
 def drop(t, cause=DropCause.NO_ROUTE):
-    return PacketRecord(time=t, kind="drop", packet_id=1, node=2, flow_id=1, ttl=5, cause=cause)
+    return PacketRecord(
+        time=t, kind="drop", packet_id=next(_drop_ids), node=2, flow_id=1,
+        ttl=5, cause=cause,
+    )
 
 
 class TestBuildTimeline:
@@ -80,6 +86,78 @@ class TestFormatTimeline:
 
     def test_empty(self):
         assert "(no events)" in format_timeline([])
+
+
+def _record_level_drop_lines(packets, bin_width=1.0):
+    """The pre-autopsy drop-burst narration: bin every terminal drop record.
+
+    Real packets drop at most once (the conservation monitor enforces it),
+    so binning drop *records* and binning autopsy *outcomes* must narrate
+    identically — this oracle pins that the autopsy refactor changed no text.
+    """
+    bins = {}
+    for r in packets:
+        if r.kind != "drop" or r.cause is None:
+            continue
+        key = (int(r.time // bin_width), r.cause)
+        bins[key] = bins.get(key, 0) + 1
+    return [
+        f"{count} packet(s) dropped ({cause.value}) in [{bin_idx}s, {bin_idx + 1}s)"
+        for (bin_idx, cause), count in sorted(
+            bins.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        )
+    ]
+
+
+class TestNarrationRegression:
+    """Golden dbf/bgp3 seed-7 runs: autopsy-based narration text unchanged."""
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("protocol", ["dbf", "bgp3"])
+    def test_golden_scenario_narration(self, protocol):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_scenario
+        from repro.obs.flight import FlightRecorder, packet_autopsies
+
+        config = ExperimentConfig.quick().with_(post_fail_window=30.0)
+        recorder = FlightRecorder()
+        result = run_scenario(protocol, 4, 7, config, recorder=recorder)
+        packets = recorder.records("packet")
+        since = config.fail_time - 0.1
+        events = build_timeline(
+            route_changes=recorder.records("route"),
+            link_events=recorder.records("link"),
+            packets=packets,
+            dest=result.receiver,
+            since=since,
+        )
+        text = format_timeline(events, origin=config.fail_time)
+        assert "FAILED" in text
+
+        # Drop bursts narrate exactly as the pre-refactor record binning did.
+        drop_lines = [e.text for e in events if e.kind == "drops"]
+        legacy = [
+            line
+            for line in _record_level_drop_lines(packets)
+            # match the timeline's since-filter (drop bins are keyed on time)
+            if float(line.split("[")[1].split("s")[0]) >= since
+        ]
+        assert drop_lines  # golden seeds do drop packets post-failure
+        assert drop_lines == legacy
+        assert any(e.kind == "blackhole" for e in events)
+
+        # Loop/blackhole callouts come from the same autopsies `repro trace`
+        # prints, so the two views can never disagree about a packet.
+        autopsies = packet_autopsies(packets)
+        looped = {a.loop for a in autopsies.values() if a.loop is not None}
+        narrated_loops = [e for e in events if e.kind == "loop"]
+        for event in narrated_loops:
+            cycle = tuple(
+                int(n) for n in
+                event.text.split("loop ")[1].split(":")[0].split(" -> ")
+            )
+            assert cycle in looped
 
 
 class TestEndToEnd:

@@ -74,6 +74,9 @@ class TestSsld:
             def handle_message(self, payload, from_node):
                 recorded.append(payload)
 
+            def apply_message(self, payload, from_node):
+                self.handle_message(payload, from_node)
+
             def start(self):
                 pass
 

@@ -140,6 +140,9 @@ class TestQueryReplyMachinery:
                 def handle_message(self, payload, from_node):
                     self.sink.append(payload)
 
+                def apply_message(self, payload, from_node):
+                    self.handle_message(payload, from_node)
+
                 def start(self):
                     pass
 

@@ -90,6 +90,44 @@ class TestZeroAllocationFastPath:
         _push_traffic(bus, n_packets=5)
         assert bus.publish_count == len(bus.packets) > 0
 
+    def test_unobserved_link_flap_never_publishes(self):
+        """Link records obey the guard too: a fully quiet bus sees zero
+        publishes even across a fail/restore cycle (the counters still
+        count both transitions)."""
+        from repro.net.failure import FailureInjector
+
+        bus = CountingBus(
+            keep_packets=False, keep_routes=False, keep_messages=False,
+            keep_links=False,
+        )
+        sim = Simulator()
+        net = Network(sim, generators.line(4), bus)
+        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector.fail_link(1, 2, at=1.0)
+        injector.restore_link(1, 2, at=2.0)
+        sim.run(until=3.0)
+        assert bus.counters.link_events == 2
+        assert bus.publish_count == 0
+        assert bus.link_events == []
+
+    def test_subscribed_link_flap_publishes_both_transitions(self):
+        from repro.net.failure import FailureInjector
+
+        bus = CountingBus(
+            keep_packets=False, keep_routes=False, keep_messages=False,
+            keep_links=False,
+        )
+        seen = []
+        bus.subscribe("link", seen.append)
+        sim = Simulator()
+        net = Network(sim, generators.line(4), bus)
+        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector.fail_link(1, 2, at=1.0)
+        injector.restore_link(1, 2, at=2.0)
+        sim.run(until=3.0)
+        assert [r.up for r in seen] == [False, True]
+        assert bus.publish_count == 2
+
 
 class TestWantsGuards:
     def test_quiet_bus_wants_nothing_but_link(self):
@@ -97,7 +135,21 @@ class TestWantsGuards:
         assert not bus.wants_packet
         assert not bus.wants_route
         assert not bus.wants_message
-        assert bus.wants_link  # link transitions are rare and always kept
+        assert bus.wants_link  # link retention defaults on (narration reads it)
+
+    def test_link_guard_follows_retention_and_subscription(self):
+        bus = TraceBus(
+            keep_packets=False, keep_routes=False, keep_messages=False,
+            keep_links=False,
+        )
+        assert not bus.wants_link  # nothing would observe a link record
+        handler = lambda record: None  # noqa: E731
+        bus.subscribe("link", handler)
+        assert bus.wants_link
+        bus.unsubscribe("link", handler)
+        assert not bus.wants_link
+        bus.keep_links = True
+        assert bus.wants_link
 
     def test_wants_tracks_retention_flags(self):
         bus = TraceBus(keep_packets=False, keep_routes=False, keep_messages=False)
