@@ -16,7 +16,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import make_protocol_factory, _pick_endpoints, _pick_failed_link
 from repro.metrics.convergence import ConvergenceTracker
 from repro.metrics.narrate import build_timeline, format_timeline
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -56,7 +56,7 @@ def main() -> None:
         node.protocol.warm_start(topo)
     tracker = ConvergenceTracker(bus, dest=receiver, src=sender)
     tracker.seed_from_network(net)
-    FailureInjector(sim, net, detection_delay=0.05).fail_link(*failed, at=10.0)
+    LinkScheduler(sim, net, detection_delay=0.05).fail_link(*failed, at=10.0)
     sim.run(until=70.0)
 
     events = build_timeline(

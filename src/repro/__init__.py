@@ -24,7 +24,7 @@ from .experiments import (
     run_scenario,
     run_sweep,
 )
-from .net import FailureInjector, Network, Packet
+from .net import LinkEvent, LinkScheduler, Network, Packet
 from .routing import (
     BgpConfig,
     BgpProtocol,
@@ -52,7 +52,8 @@ __all__ = [
     "regular_mesh",
     "Network",
     "Packet",
-    "FailureInjector",
+    "LinkScheduler",
+    "LinkEvent",
     "RipProtocol",
     "DbfProtocol",
     "DualProtocol",

@@ -3,6 +3,7 @@
 Exposes the experiment harness without writing Python::
 
     python -m repro run --protocol dbf --degree 4 --seed 1
+    python -m repro churn --protocol dbf --model waypoint --validate
     python -m repro figure 3                  # reproduce Figure 3's table
     python -m repro figure 5 --degrees 3 4 6  # throughput series
     python -m repro sweep --protocols rip dbf --degrees 3 4 5 6
@@ -25,7 +26,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .experiments.config import PROTOCOL_NAMES, ExperimentConfig
+from .experiments.config import (
+    MOBILITY_MODELS,
+    PROTOCOL_NAMES,
+    ChurnConfig,
+    ExperimentConfig,
+)
 from .experiments import figures as fig
 from .experiments.report import format_series_grid, format_sweep_table
 from .experiments.runner import run_sweep
@@ -51,6 +57,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--degree", type=int, default=4)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--rate", type=float, help="packets/second")
+
+    churn_p = sub.add_parser(
+        "churn",
+        help="run one mobility-churn scenario (moving nodes, flapping links)",
+    )
+    churn_p.add_argument("--protocol", choices=PROTOCOL_NAMES, default="dbf")
+    churn_p.add_argument("--seed", type=int, default=1)
+    churn_p.add_argument(
+        "--model", choices=MOBILITY_MODELS, default="waypoint",
+        help="mobility model generating the link schedule",
+    )
+    churn_p.add_argument("--nodes", type=int, default=16, help="field size")
+    churn_p.add_argument(
+        "--range", type=float, default=400.0, dest="radio_range",
+        help="radio range in meters (links = pairs within range)",
+    )
+    churn_p.add_argument(
+        "--window", type=float, default=30.0,
+        help="seconds of movement after the field starts churning",
+    )
+    churn_p.add_argument(
+        "--validate", action="store_true",
+        help="attach the invariant monitor suite; violations exit non-zero",
+    )
+    churn_p.add_argument(
+        "--dump-dir", metavar="DIR",
+        help="write a post-mortem flight dump here if any monitor fires",
+    )
 
     fig_p = sub.add_parser("figure", help="reproduce one paper figure")
     fig_p.add_argument("number", type=int, choices=(2, 3, 4, 5, 6, 7))
@@ -239,6 +273,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from .experiments.churn import run_churn_scenario
+
+    config = ExperimentConfig.quick().with_(
+        post_fail_window=args.window,
+        churn=ChurnConfig(
+            model=args.model,
+            n_nodes=args.nodes,
+            radio_range=args.radio_range,
+        ),
+    )
+    monitors = None
+    if args.validate:
+        from .validation.monitors import MonitorSuite
+
+        monitors = MonitorSuite()
+    r = run_churn_scenario(
+        args.protocol,
+        args.seed,
+        config,
+        monitors=monitors,
+        dump_dir=args.dump_dir,
+    )
+    fails = sum(1 for e in r.events if e.kind == "fail")
+    restores = len(r.events) - fails
+    print(
+        f"protocol={r.protocol} seed={r.seed} model={args.model} "
+        f"nodes={args.nodes} range={args.radio_range:g}m"
+    )
+    print(f"initial path: {' -> '.join(map(str, r.initial_path))}")
+    print(f"events: {len(r.events)} ({fails} fail, {restores} restore)")
+    active = [e for e in r.events if e.wave_start is not None]
+    print(
+        f"reconvergence waves: {len(active)} of {len(r.events)} events "
+        "caused routing activity"
+    )
+    print(
+        f"sent={r.sent} delivered={r.delivered} ({r.delivery_ratio:.1%}) "
+        f"no_route={r.drops_no_route} ttl={r.drops_ttl} "
+        f"link_down={r.drops_link_down} queue={r.drops_queue}"
+    )
+    if monitors is not None:
+        if r.violations:
+            print(f"INVARIANT VIOLATIONS ({len(r.violations)}):")
+            for v in r.violations:
+                print(f"  {v}")
+            if r.dump_path:
+                print(f"post-mortem dump: {r.dump_path}")
+            return 1
+        print("monitors: all green")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     config = _config(args)
     n = args.number
@@ -382,7 +469,7 @@ def _cmd_narrate(args: argparse.Namespace) -> int:
     from .experiments.scenario import _pick_endpoints, _pick_failed_link
     from .metrics.convergence import ConvergenceTracker
     from .metrics.narrate import build_timeline, format_timeline
-    from .net.failure import FailureInjector
+    from .net.dynamics import LinkScheduler
     from .net.network import Network
     from .experiments.scenario import make_protocol_factory
     from .sim.engine import Simulator
@@ -418,7 +505,7 @@ def _cmd_narrate(args: argparse.Namespace) -> int:
         node.protocol.warm_start(topo)
     tracker = ConvergenceTracker(bus, dest=receiver, src=sender)
     tracker.seed_from_network(net)
-    FailureInjector(sim, net, detection_delay=config.detection_delay).fail_link(
+    LinkScheduler(sim, net, detection_delay=config.detection_delay).fail_link(
         *failed, at=10.0
     )
     sim.run(until=10.0 + args.window)
@@ -696,6 +783,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "churn": _cmd_churn,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "topology": _cmd_topology,

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..metrics.counters import DropCounter
-from ..net.failure import FailureInjector
+from ..net.dynamics import LinkScheduler
 from ..net.network import Network
 from ..sim.engine import Simulator
 from ..sim.rng import RngStreams
@@ -187,7 +187,7 @@ def run_multiflow_scenario(
         source.start()
         sources.append(source)
 
-    injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
+    injector = LinkScheduler(sim, network, detection_delay=config.detection_delay)
     for i, (a, b) in enumerate(failed):
         injector.fail_link(a, b, at=config.fail_time + i * failure_spacing)
 
@@ -280,7 +280,7 @@ def run_transport_scenario(
     )
     sim.schedule_at(config.traffic_start, tx.start)
     if inject_failure:
-        injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
+        injector = LinkScheduler(sim, network, detection_delay=config.detection_delay)
         injector.fail_link(failed[0], failed[1], at=config.fail_time)
 
     horizon = config.end_time + 120.0
@@ -395,7 +395,7 @@ def run_repair_scenario(
         ),
     )
     source.start()
-    injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
+    injector = LinkScheduler(sim, network, detection_delay=config.detection_delay)
     injector.fail_link(failed[0], failed[1], at=config.fail_time)
     repair_at = config.fail_time + repair_after
     injector.restore_link(failed[0], failed[1], at=repair_at)
@@ -504,7 +504,7 @@ def run_node_failure_scenario(
         ),
     )
     source.start()
-    injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
+    injector = LinkScheduler(sim, network, detection_delay=config.detection_delay)
     injector.fail_node(failed_node, at=config.fail_time)
     sim.run(until=config.end_time)
 
@@ -542,7 +542,10 @@ def run_random_topology_scenario(
     shape as the mesh experiment, so results are directly comparable; used to
     check that the degree findings are not lattice artifacts.
     """
-    from .scenario import ScenarioResult  # local import to avoid cycle noise
+    from .scenario import (  # local import to avoid cycle noise
+        ScenarioResult,
+        TopologyEventOutcome,
+    )
     from ..metrics.convergence import ConvergenceTracker, NetworkConvergenceWatcher
     from ..metrics.counters import MessageCounter
     from ..metrics.timeseries import delay_series, throughput_series
@@ -594,7 +597,7 @@ def run_random_topology_scenario(
         ),
     )
     source.start()
-    injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
+    injector = LinkScheduler(sim, network, detection_delay=config.detection_delay)
     injector.fail_link(failed[0], failed[1], at=config.fail_time)
     sim.run(until=config.end_time)
 
@@ -606,9 +609,16 @@ def run_random_topology_scenario(
         seed=seed,
         sender=sender,
         receiver=receiver,
-        failed_link=failed,
-        pre_failure_path=tuple(pre_path),
+        initial_path=tuple(pre_path),
         expected_final_path=tuple(expected_final) if expected_final else None,
+        events=(
+            TopologyEventOutcome(
+                kind="fail",
+                link=(min(failed), max(failed)),
+                time=config.fail_time,
+                detect_time=detect_at,
+            ),
+        ),
         sent=source.sent,
         delivered=sink.stats.delivered,
         drops_no_route=drop_counter.no_route,

@@ -7,13 +7,20 @@ diff-able, and readable outside Python.
 
 Format history:
 
-* **v2** (current) — lossless for everything a sweep produces: scenario
-  measurements, the throughput/delay series, loop and reordering reports,
-  monitor skips, and per-point :class:`SweepFailure` records.  A
+* **v3** (current) — the single-failure scalars (``failed_link``,
+  ``pre_failure_path``) became a general topology-event schedule: each run
+  records ``initial_path`` plus an ``events`` list (kind, link, event and
+  detection times, and the attributed reconvergence wave).  A
   save→load→save round trip is byte-identical.
+* **v2** — lossless for everything a single-failure sweep produced:
+  scenario measurements, the throughput/delay series, loop and reordering
+  reports, monitor skips, and per-point :class:`SweepFailure` records.
 * **v1** — scalar measurements plus series only; silently dropped
-  ``monitor_skips``, ``loop_report``, and point ``failures``.  Still loadable
-  (missing fields come back as their defaults); re-saving upgrades to v2.
+  ``monitor_skips``, ``loop_report``, and point ``failures``.
+
+v1 and v2 stay loadable: their one ``failed_link`` is migrated to a
+single ``fail`` event with unknown (``None``) times, and re-saving
+upgrades the file to v3.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from ..metrics.loops import LoopReport
 from ..metrics.reordering import ReorderingReport
 from ..metrics.timeseries import BinnedSeries
 from .runner import PointResult, SweepFailure
-from .scenario import ScenarioResult
+from .scenario import ScenarioResult, TopologyEventOutcome
 
 __all__ = [
     "scenario_to_dict",
@@ -37,9 +44,9 @@ __all__ = [
 ]
 
 #: Version written by :func:`save_points` / the sweep shard store.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: Versions :func:`load_points` understands.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _series_to_dict(series: BinnedSeries | None) -> dict | None:
@@ -54,16 +61,38 @@ def _series_from_dict(data: Mapping | None) -> BinnedSeries | None:
     return BinnedSeries(times=tuple(data["times"]), values=tuple(data["values"]))
 
 
+def _event_to_dict(event: TopologyEventOutcome) -> dict:
+    return {
+        "kind": event.kind,
+        "link": list(event.link),
+        "time": event.time,
+        "detect_time": event.detect_time,
+        "wave_start": event.wave_start,
+        "wave_end": event.wave_end,
+    }
+
+
+def _event_from_dict(data: Mapping[str, Any]) -> TopologyEventOutcome:
+    return TopologyEventOutcome(
+        kind=data["kind"],
+        link=tuple(data["link"]),
+        time=data["time"],
+        detect_time=data["detect_time"],
+        wave_start=data.get("wave_start"),
+        wave_end=data.get("wave_end"),
+    )
+
+
 def scenario_to_dict(result: ScenarioResult) -> dict:
-    """JSON-ready representation of one run's measurements (format v2)."""
+    """JSON-ready representation of one run's measurements (format v3)."""
     return {
         "protocol": result.protocol,
         "degree": result.degree,
         "seed": result.seed,
         "sender": result.sender,
         "receiver": result.receiver,
-        "failed_link": list(result.failed_link),
-        "pre_failure_path": list(result.pre_failure_path),
+        "initial_path": list(result.initial_path),
+        "events": [_event_to_dict(e) for e in result.events],
         "expected_final_path": (
             list(result.expected_final_path)
             if result.expected_final_path is not None
@@ -111,10 +140,13 @@ def scenario_to_dict(result: ScenarioResult) -> dict:
 
 
 def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
-    """Inverse of :func:`scenario_to_dict` (accepts v1 and v2 dicts).
+    """Inverse of :func:`scenario_to_dict` (accepts v1, v2, and v3 dicts).
 
     Present-but-empty collections are restored as empty, not collapsed to
     ``None``: only a JSON ``null`` (or a missing v1 field) maps to ``None``.
+    v1/v2 dicts carry ``failed_link``/``pre_failure_path`` instead of the
+    event schedule; the link is migrated to one ``fail`` event with unknown
+    (``None``) times — the old formats never recorded when it fired.
     """
     reordering = None
     if data.get("reordering") is not None:
@@ -135,14 +167,26 @@ def scenario_from_dict(data: Mapping[str, Any]) -> ScenarioResult:
             max_extra_hops=lr["max_extra_hops"],
         )
     expected_final_path = data.get("expected_final_path")
+    if "events" in data:
+        events = tuple(_event_from_dict(e) for e in data["events"])
+        initial_path = tuple(data["initial_path"])
+    else:
+        # v1/v2 migration: one failure, canonical link key, times unknown.
+        a, b = data["failed_link"]
+        events = (
+            TopologyEventOutcome(
+                kind="fail", link=(min(a, b), max(a, b)), time=None, detect_time=None
+            ),
+        )
+        initial_path = tuple(data["pre_failure_path"])
     return ScenarioResult(
         protocol=data["protocol"],
         degree=data["degree"],
         seed=data["seed"],
         sender=data["sender"],
         receiver=data["receiver"],
-        failed_link=tuple(data["failed_link"]),
-        pre_failure_path=tuple(data["pre_failure_path"]),
+        initial_path=initial_path,
+        events=events,
         expected_final_path=(
             tuple(expected_final_path) if expected_final_path is not None else None
         ),
@@ -190,7 +234,7 @@ def failure_from_dict(data: Mapping[str, Any]) -> SweepFailure:
 
 
 def save_points(points: Mapping[tuple[str, int], PointResult], path: str) -> None:
-    """Write a sweep (as from ``run_sweep``) to ``path`` as JSON (v2)."""
+    """Write a sweep (as from ``run_sweep``) to ``path`` as JSON (v3)."""
     payload = {
         "format_version": FORMAT_VERSION,
         "points": [
@@ -208,7 +252,7 @@ def save_points(points: Mapping[tuple[str, int], PointResult], path: str) -> Non
 
 
 def load_points(path: str) -> dict[tuple[str, int], PointResult]:
-    """Read a sweep previously written by :func:`save_points` (v1 or v2)."""
+    """Read a sweep previously written by :func:`save_points` (v1-v3)."""
     with open(path, "r", encoding="utf-8") as f:
         payload = json.load(f)
     version = payload.get("format_version")

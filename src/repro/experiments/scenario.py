@@ -1,10 +1,17 @@
-"""Scenario builder: one protocol, one topology, one failure, one flow.
+"""Scenario builder: one protocol, one topology, one event schedule, one flow.
 
 Reconstructs the paper's experiment (§5): a sender attached to a random
 first-row router streams CBR traffic to a receiver attached to a random
 last-row router; after steady state, one randomly chosen link on the current
 sender->receiver shortest path fails; every packet-level consequence is
 measured until the post-failure window closes.
+
+The failure side is driver-pluggable: by default the run executes the
+paper's :class:`~repro.net.dynamics.SingleLinkFailureDriver`, but a
+``driver_factory`` can substitute any :class:`~repro.net.dynamics.
+TopologyDriver` (scripted flaps, mobility churn) over the same mesh.  Every
+executed event lands on :attr:`ScenarioResult.events` with its own
+reconvergence wave attributed from the network-wide route-change stream.
 """
 
 from __future__ import annotations
@@ -14,12 +21,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..metrics.convergence import ConvergenceTracker, NetworkConvergenceWatcher
+from ..metrics.convergence import (
+    ConvergenceTracker,
+    NetworkConvergenceWatcher,
+    attribute_waves,
+)
 from ..metrics.counters import DropCounter, MessageCounter
 from ..metrics.loops import LoopReport, analyze_deliveries
 from ..metrics.reordering import ReorderingReport, analyze_reordering
 from ..metrics.timeseries import BinnedSeries, delay_series, throughput_series
-from ..net.failure import FailureInjector
+from ..net.dynamics import LinkScheduler, SingleLinkFailureDriver, TopologyDriver
 from ..net.network import Network
 from ..net.node import Node
 from ..obs.flight import FlightRecorder, build_dump, save_dump
@@ -43,7 +54,47 @@ from ..traffic.flows import FlowSpec
 from ..traffic.sink import PacketSink
 from .config import ExperimentConfig
 
-__all__ = ["ScenarioResult", "run_scenario", "make_protocol_factory"]
+__all__ = [
+    "ScenarioPlan",
+    "ScenarioResult",
+    "TopologyEventOutcome",
+    "run_scenario",
+    "make_protocol_factory",
+]
+
+
+@dataclass(frozen=True)
+class TopologyEventOutcome:
+    """One executed topology event and the reconvergence wave it caused.
+
+    ``wave_start``/``wave_end`` are the first and last network-wide route
+    changes inside the event's attribution window (from its detection to
+    the next event's detection, the last window running to the end of the
+    run); both ``None`` when the window saw no routing activity.  Results
+    migrated from format v1/v2 carry ``time=None``/``detect_time=None`` —
+    the old formats recorded only which link failed, not when.
+    """
+
+    kind: str  # "fail" | "restore"
+    link: tuple[int, int]
+    time: Optional[float]
+    detect_time: Optional[float]
+    wave_start: Optional[float] = None
+    wave_end: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """The laid-out run a ``driver_factory`` may build its schedule from."""
+
+    topology: Topology
+    sender: int
+    receiver: int
+    pre_path: tuple[int, ...]
+    failed: tuple[int, int]
+    fail_at: float
+    detect_at: float
+    end_at: float
 
 
 @dataclass
@@ -55,9 +106,10 @@ class ScenarioResult:
     seed: int
     sender: int
     receiver: int
-    failed_link: tuple[int, int]
-    pre_failure_path: tuple[int, ...]
+    initial_path: tuple[int, ...]
     expected_final_path: Optional[tuple[int, ...]]
+    #: Every executed topology event, in execution order, with its wave.
+    events: tuple[TopologyEventOutcome, ...] = ()
     # Packet accounting (post-failure window for drops; whole flow otherwise).
     sent: int = 0
     delivered: int = 0
@@ -100,6 +152,21 @@ class ScenarioResult:
     @property
     def delivery_ratio(self) -> float:
         return self.delivered / self.sent if self.sent else 0.0
+
+    # Legacy accessors (pre-event-schedule results had exactly one failure).
+
+    @property
+    def failed_link(self) -> Optional[tuple[int, int]]:
+        """The first failed link, or ``None`` for an event-free run."""
+        for event in self.events:
+            if event.kind == "fail":
+                return event.link
+        return None
+
+    @property
+    def pre_failure_path(self) -> tuple[int, ...]:
+        """Legacy alias for :attr:`initial_path`."""
+        return self.initial_path
 
 
 def make_protocol_factory(
@@ -204,8 +271,17 @@ def run_scenario(
     obs: Optional[object] = None,
     recorder: Optional[FlightRecorder] = None,
     dump_dir: Optional[str] = None,
+    driver_factory: Optional[Callable[[ScenarioPlan], TopologyDriver]] = None,
 ) -> ScenarioResult:
     """Run one complete experiment and return all measurements.
+
+    ``driver_factory`` substitutes the topology-event schedule: it receives
+    the laid-out :class:`ScenarioPlan` (topology, flow endpoints, the
+    on-path link the default scenario would fail, and the run's clock) and
+    returns any :class:`~repro.net.dynamics.TopologyDriver`.  The default is
+    the paper's single on-path failure,
+    ``SingleLinkFailureDriver(plan.failed, plan.fail_at)``, which schedules
+    the exact same engine events the pre-driver implementation did.
 
     ``monitors`` is an optional :class:`repro.validation.MonitorSuite` to
     attach to the run; with ``config.validate`` set a default suite is
@@ -309,10 +385,36 @@ def run_scenario(
     source = CbrSource(sim, network, flow)
     source.start()
 
-    injector = FailureInjector(sim, network, detection_delay=config.detection_delay)
-    injector.fail_link(failed[0], failed[1], at=fail_at)
-
     detect_at = fail_at + config.detection_delay
+    scheduler = LinkScheduler(sim, network, detection_delay=config.detection_delay)
+    if driver_factory is None:
+        driver: TopologyDriver = SingleLinkFailureDriver(failed, fail_at)
+    else:
+        driver = driver_factory(
+            ScenarioPlan(
+                topology=topo,
+                sender=sender,
+                receiver=receiver,
+                pre_path=tuple(pre_path),
+                failed=failed,
+                fail_at=fail_at,
+                detect_at=detect_at,
+                end_at=end_at,
+            )
+        )
+    scheduled = scheduler.run_driver(driver, until=end_at)
+    first_at = scheduled[0].time if scheduled else fail_at
+    detect_times = [
+        e.time
+        + (
+            e.detection_delay
+            if e.detection_delay is not None
+            else config.detection_delay
+        )
+        for e in scheduled
+    ]
+    first_detect = detect_times[0] if detect_times else detect_at
+
     if monitors is not None:
         from ..validation.monitors import RunContext, settle_margin_for
 
@@ -323,8 +425,10 @@ def run_scenario(
                 bus=bus,
                 topology=topo,
                 protocol=protocol,
-                failed_links=((min(failed), max(failed)),),
-                detect_time=detect_at,
+                failed_links=tuple(
+                    sorted({e.link_key for e in scheduled if e.kind == "fail"})
+                ),
+                detect_time=first_detect,
                 end_time=end_at,
                 infinity=(
                     config.dv_infinity
@@ -341,40 +445,52 @@ def run_scenario(
     # order is identical to a single ``run(until=end_at)`` (the golden on/off
     # test pins this).
     with profiler.span("steady", sim=sim):
-        sim.run(until=min(fail_at, end_at))
+        sim.run(until=min(first_at, end_at))
     with profiler.span("failure", sim=sim):
-        sim.run(until=min(detect_at, end_at))
+        sim.run(until=min(first_detect, end_at))
     with profiler.span("convergence", sim=sim):
         sim.run(until=end_at)
 
     with profiler.span("drain", sim=sim):
         deliveries = sink.stats.deliveries
+        waves = attribute_waves(detect_times, net_watcher.change_times, end_at)
+        outcomes = tuple(
+            TopologyEventOutcome(
+                kind=e.kind,
+                link=e.link_key,
+                time=e.time,
+                detect_time=dt,
+                wave_start=w[0],
+                wave_end=w[1],
+            )
+            for e, dt, w in zip(scheduled, detect_times, waves)
+        )
         result = ScenarioResult(
             protocol=protocol,
             degree=degree,
             seed=seed,
             sender=sender,
             receiver=receiver,
-            failed_link=failed,
-            pre_failure_path=tuple(pre_path),
+            initial_path=tuple(pre_path),
             expected_final_path=tuple(expected_final) if expected_final else None,
+            events=outcomes,
             sent=source.sent,
             delivered=sink.stats.delivered,
             drops_no_route=drop_counter.no_route,
             drops_ttl=drop_counter.ttl_expired,
             drops_link_down=drop_counter.link_down,
             drops_queue=drop_counter.queue_overflow,
-            routing_convergence=net_watcher.convergence_time(detect_at),
-            destination_convergence=tracker.routing_convergence_time(detect_at),
-            forwarding_convergence=tracker.forwarding_convergence_delay(detect_at),
+            routing_convergence=net_watcher.convergence_time(first_detect),
+            destination_convergence=tracker.routing_convergence_time(first_detect),
+            forwarding_convergence=tracker.forwarding_convergence_delay(first_detect),
             converged_to_expected=(
                 tracker.converged_to(tuple(expected_final)) if expected_final else False
             ),
-            transient_path_count=len(tracker.transient_paths(fail_at)),
+            transient_path_count=len(tracker.transient_paths(first_at)),
             throughput=throughput_series(
-                deliveries, traffic_start, end_at, origin=fail_at
+                deliveries, traffic_start, end_at, origin=first_at
             ),
-            delay=delay_series(deliveries, traffic_start, end_at, origin=fail_at),
+            delay=delay_series(deliveries, traffic_start, end_at, origin=first_at),
             messages=message_counter.messages,
             withdrawals=message_counter.withdrawals,
             reordering=analyze_reordering(deliveries),
@@ -399,8 +515,11 @@ def run_scenario(
                     "receiver": receiver,
                     "failed_link": list(failed),
                     "fail_time": fail_at,
-                    "detect_time": detect_at,
+                    "detect_time": first_detect,
                     "end_time": end_at,
+                    "events": [
+                        [e.kind, e.a, e.b, e.time] for e in scheduled
+                    ],
                 },
                 violations=result.violations,
                 counters=bus.counters.as_dict(),

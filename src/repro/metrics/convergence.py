@@ -28,6 +28,7 @@ __all__ = [
     "ConvergenceTracker",
     "NetworkConvergenceWatcher",
     "walk_forwarding_path",
+    "attribute_waves",
 ]
 
 
@@ -78,17 +79,47 @@ class NetworkConvergenceWatcher:
     def __init__(self, bus: TraceBus) -> None:
         self.last_change_time: Optional[float] = None
         self.change_count = 0
+        #: Every FIB-change instant, in bus order (non-decreasing).  Kept so
+        #: multi-event runs can attribute each reconvergence wave to the
+        #: topology event whose detection window it falls in.
+        self.change_times: list[float] = []
         bus.subscribe("route", self._on_route_change)
 
     def _on_route_change(self, record: RouteChangeRecord) -> None:
         self.last_change_time = record.time
         self.change_count += 1
+        self.change_times.append(record.time)
 
     def convergence_time(self, detect_time: float) -> float:
         """Seconds from detection to the final FIB change network-wide."""
         if self.last_change_time is None or self.last_change_time < detect_time:
             return 0.0
         return self.last_change_time - detect_time
+
+
+def attribute_waves(
+    detect_times: list[float], change_times: list[float], end_time: float
+) -> list[tuple[Optional[float], Optional[float]]]:
+    """Attribute FIB-change activity to the topology event windows.
+
+    Event ``i``'s window runs from its detection instant to the next event's
+    detection instant (the last window ends at ``end_time``).  Returns one
+    ``(first_change, last_change)`` pair per event — ``(None, None)`` when
+    nothing moved in that window.  When reconvergence waves overlap (event
+    ``i+1`` detected while ``i``'s wave is still running), a change belongs
+    to the window it *occurs* in: the tail of the earlier wave is attributed
+    to the later event, which is the only causally sound split an online
+    observer can make without protocol introspection.
+    """
+    out: list[tuple[Optional[float], Optional[float]]] = []
+    for i, start in enumerate(detect_times):
+        stop = detect_times[i + 1] if i + 1 < len(detect_times) else end_time
+        window = [t for t in change_times if start <= t < stop]
+        if window:
+            out.append((window[0], window[-1]))
+        else:
+            out.append((None, None))
+    return out
 
 
 class ConvergenceTracker:

@@ -1,0 +1,28 @@
+"""Mobility models: deterministic node movement driving topology churn.
+
+Three classic models — random waypoint, Gauss-Markov (3D-capable), and
+Manhattan grid — move nodes through a bounded area; the
+:class:`~repro.mobility.driver.MobilityDriver` samples their positions on a
+fixed cadence, derives range-based connectivity (:mod:`repro.topology.
+spatial`), and emits the link fail/restore schedule the
+:class:`~repro.net.dynamics.LinkScheduler` executes.
+
+Every model draws exclusively from the ``random.Random`` it is given
+(scenarios hand it an :class:`~repro.sim.rng.RngStreams` stream), so the
+same seed always yields a byte-identical event schedule.
+"""
+
+from .base import MobilityModel
+from .driver import MobilityDriver, MobilitySchedule
+from .gauss_markov import GaussMarkov
+from .manhattan import ManhattanGrid
+from .waypoint import RandomWaypoint
+
+__all__ = [
+    "MobilityModel",
+    "MobilityDriver",
+    "MobilitySchedule",
+    "RandomWaypoint",
+    "GaussMarkov",
+    "ManhattanGrid",
+]

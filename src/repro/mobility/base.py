@@ -1,0 +1,32 @@
+"""Mobility model protocol and shared helpers."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..topology.spatial import Position
+
+__all__ = ["MobilityModel", "clamp"]
+
+
+@runtime_checkable
+class MobilityModel(Protocol):
+    """A stateful movement process over a fixed node set.
+
+    Implementations must be deterministic functions of their constructor
+    arguments (including the ``random.Random`` they were given): the driver
+    replays them step by step and persists the resulting schedule, so two
+    models built identically must trace identical trajectories.
+    """
+
+    def positions(self) -> dict[int, Position]:
+        """Current position of every node."""
+        ...
+
+    def advance(self, dt: float) -> None:
+        """Integrate movement forward by ``dt`` seconds."""
+        ...
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    return lo if value < lo else hi if value > hi else value

@@ -1,0 +1,134 @@
+"""Gauss-Markov mobility (3D-capable).
+
+Temporally correlated movement (cf. the UAV-network mobility literature):
+each node carries a speed, heading, and pitch that evolve as first-order
+Gauss-Markov processes
+
+    x_n = alpha * x_{n-1} + (1 - alpha) * x_mean + sqrt(1 - alpha^2) * g_n
+
+with ``g_n`` standard Gaussian draws.  ``alpha`` close to 1 gives smooth,
+inertial trajectories; ``alpha = 0`` is a memoryless random walk.  Near an
+area boundary the mean heading is steered back toward the interior — the
+standard edge treatment — so nodes never escape the field.  With a planar
+area (depth 0) the pitch stays 0 and movement is 2D.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..topology.spatial import Position
+from .base import clamp
+
+__all__ = ["GaussMarkov"]
+
+
+class GaussMarkov:
+    """Gauss-Markov movement over ``n_nodes`` nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float, float],
+        mean_speed: float,
+        alpha: float,
+        rng: random.Random,
+        speed_sigma: float | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if not 0 <= alpha < 1:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        if mean_speed <= 0:
+            raise ValueError(f"mean_speed must be positive, got {mean_speed}")
+        self._area = area
+        self._alpha = alpha
+        self._mean_speed = mean_speed
+        self._speed_sigma = (
+            speed_sigma if speed_sigma is not None else mean_speed / 4.0
+        )
+        self._rng = rng
+        self._3d = area[2] > 0
+        self._pos: dict[int, Position] = {}
+        self._speed: dict[int, float] = {}
+        self._heading: dict[int, float] = {}
+        self._pitch: dict[int, float] = {}
+        #: Per-node mean heading/pitch; steered near boundaries.
+        self._mean_heading: dict[int, float] = {}
+        self._mean_pitch: dict[int, float] = {}
+        w, h, d = area
+        for node in range(n_nodes):
+            self._pos[node] = (
+                rng.uniform(0.0, w),
+                rng.uniform(0.0, h),
+                rng.uniform(0.0, d) if self._3d else 0.0,
+            )
+            self._speed[node] = mean_speed
+            heading = rng.uniform(0.0, 2 * math.pi)
+            self._heading[node] = heading
+            self._mean_heading[node] = heading
+            self._pitch[node] = 0.0
+            self._mean_pitch[node] = 0.0
+
+    def positions(self) -> dict[int, Position]:
+        return dict(self._pos)
+
+    def advance(self, dt: float) -> None:
+        a = self._alpha
+        keep = math.sqrt(1.0 - a * a)
+        rng = self._rng
+        w, h, d = self._area
+        for node in sorted(self._pos):
+            self._steer_from_edges(node)
+            self._speed[node] = max(
+                0.1,
+                a * self._speed[node]
+                + (1 - a) * self._mean_speed
+                + keep * rng.gauss(0.0, self._speed_sigma),
+            )
+            self._heading[node] = (
+                a * self._heading[node]
+                + (1 - a) * self._mean_heading[node]
+                + keep * rng.gauss(0.0, math.pi / 6)
+            )
+            if self._3d:
+                self._pitch[node] = clamp(
+                    a * self._pitch[node]
+                    + (1 - a) * self._mean_pitch[node]
+                    + keep * rng.gauss(0.0, math.pi / 12),
+                    -math.pi / 3,
+                    math.pi / 3,
+                )
+            x, y, z = self._pos[node]
+            step = self._speed[node] * dt
+            pitch = self._pitch[node]
+            heading = self._heading[node]
+            self._pos[node] = (
+                clamp(x + step * math.cos(heading) * math.cos(pitch), 0.0, w),
+                clamp(y + step * math.sin(heading) * math.cos(pitch), 0.0, h),
+                clamp(z + step * math.sin(pitch), 0.0, d) if self._3d else 0.0,
+            )
+
+    def _steer_from_edges(self, node: int) -> None:
+        """Point the mean heading back toward the interior near a boundary."""
+        w, h, d = self._area
+        x, y, z = self._pos[node]
+        margin_x, margin_y = 0.1 * w, 0.1 * h
+        near_edge = False
+        if x < margin_x or x > w - margin_x or y < margin_y or y > h - margin_y:
+            self._mean_heading[node] = math.atan2(h / 2 - y, w / 2 - x)
+            # Snap the live heading's accumulated windup into [0, 2pi) so the
+            # relaxation toward the steered mean acts on the short way round.
+            self._heading[node] = self._heading[node] % (2 * math.pi)
+            near_edge = True
+        if self._3d:
+            margin_z = 0.1 * d
+            if z < margin_z:
+                self._mean_pitch[node] = math.pi / 6
+                near_edge = True
+            elif z > d - margin_z:
+                self._mean_pitch[node] = -math.pi / 6
+                near_edge = True
+            elif not near_edge:
+                self._mean_pitch[node] = 0.0

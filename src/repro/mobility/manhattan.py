@@ -1,0 +1,128 @@
+"""Manhattan-grid mobility.
+
+Nodes move along the streets of a rectangular grid (``blocks`` city blocks
+across the area).  At every intersection a node continues straight with
+probability 0.5, turns left with 0.25, turns right with 0.25 — options
+that would leave the area are dropped and the remaining ones rescaled; at
+a dead end the node reverses.  Speed is redrawn uniformly at each
+intersection.  Positions are tracked as (intersection, direction,
+progress-along-segment), so trajectories stay exactly on the lattice with
+no float drift off the streets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..topology.spatial import Position
+
+__all__ = ["ManhattanGrid"]
+
+#: Unit directions along the street axes: +x, -x, +y, -y.
+_DIRECTIONS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+def _left(d: tuple[int, int]) -> tuple[int, int]:
+    return (-d[1], d[0])
+
+
+def _right(d: tuple[int, int]) -> tuple[int, int]:
+    return (d[1], -d[0])
+
+
+class ManhattanGrid:
+    """Manhattan-grid movement over ``n_nodes`` nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float, float],
+        blocks: tuple[int, int],
+        speed: tuple[float, float],
+        rng: random.Random,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        bx, by = blocks
+        if bx < 1 or by < 1:
+            raise ValueError(f"need at least 1x1 blocks, got {blocks}")
+        lo, hi = speed
+        if not 0 < lo <= hi:
+            raise ValueError(f"need 0 < speed_min <= speed_max, got {speed}")
+        self._blocks = blocks
+        self._seg = (area[0] / bx, area[1] / by)
+        self._speed_band = speed
+        self._rng = rng
+        # Per node: lattice intersection (i, j), travel direction, metres of
+        # progress along the current segment, and current speed.
+        self._at: dict[int, tuple[int, int]] = {}
+        self._dir: dict[int, tuple[int, int]] = {}
+        self._progress: dict[int, float] = {}
+        self._speed: dict[int, float] = {}
+        for node in range(n_nodes):
+            i = rng.randrange(bx + 1)
+            j = rng.randrange(by + 1)
+            self._at[node] = (i, j)
+            direction = _DIRECTIONS[rng.randrange(4)]
+            if not self._valid((i, j), direction):
+                direction = (-direction[0], -direction[1])
+            self._dir[node] = direction
+            self._progress[node] = 0.0
+            self._speed[node] = rng.uniform(lo, hi)
+
+    def _valid(self, at: tuple[int, int], d: tuple[int, int]) -> bool:
+        bx, by = self._blocks
+        i, j = at[0] + d[0], at[1] + d[1]
+        return 0 <= i <= bx and 0 <= j <= by
+
+    def positions(self) -> dict[int, Position]:
+        sx, sy = self._seg
+        out: dict[int, Position] = {}
+        for node in sorted(self._at):
+            i, j = self._at[node]
+            di, dj = self._dir[node]
+            progress = self._progress[node]
+            out[node] = (i * sx + di * progress, j * sy + dj * progress, 0.0)
+        return out
+
+    def advance(self, dt: float) -> None:
+        for node in sorted(self._at):
+            self._advance_node(node, dt)
+
+    def _advance_node(self, node: int, dt: float) -> None:
+        sx, sy = self._seg
+        remaining = dt
+        while remaining > 1e-12:
+            direction = self._dir[node]
+            seg_len = sx if direction[0] else sy
+            dist_left = seg_len - self._progress[node]
+            speed = self._speed[node]
+            if speed * remaining < dist_left:
+                self._progress[node] += speed * remaining
+                return
+            remaining -= dist_left / speed
+            i, j = self._at[node]
+            self._at[node] = (i + direction[0], j + direction[1])
+            self._progress[node] = 0.0
+            self._dir[node] = self._turn(node)
+            lo, hi = self._speed_band
+            self._speed[node] = self._rng.uniform(lo, hi)
+
+    def _turn(self, node: int) -> tuple[int, int]:
+        at = self._at[node]
+        direction = self._dir[node]
+        options = [
+            (direction, 0.5),
+            (_left(direction), 0.25),
+            (_right(direction), 0.25),
+        ]
+        valid = [(d, w) for d, w in options if self._valid(at, d)]
+        if not valid:
+            return (-direction[0], -direction[1])
+        total = sum(w for _, w in valid)
+        draw = self._rng.random() * total
+        for d, w in valid:
+            draw -= w
+            if draw <= 0:
+                return d
+        return valid[-1][0]

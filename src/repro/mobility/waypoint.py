@@ -1,0 +1,95 @@
+"""Random-waypoint mobility.
+
+The canonical MANET model (used by the protocol-comparison studies this
+repo targets, e.g. arXiv 1209.5507): each node picks a uniform destination
+in the area and a uniform speed, travels there in a straight line, pauses,
+and repeats.  The 3D extension draws the z coordinate when the area has
+depth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..topology.spatial import Position, distance
+
+__all__ = ["RandomWaypoint"]
+
+
+class RandomWaypoint:
+    """Random-waypoint movement over ``n_nodes`` nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float, float],
+        speed: tuple[float, float],
+        pause: float,
+        rng: random.Random,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        lo, hi = speed
+        if not 0 < lo <= hi:
+            raise ValueError(f"need 0 < speed_min <= speed_max, got {speed}")
+        self._area = area
+        self._speed_band = speed
+        self._pause = pause
+        self._rng = rng
+        self._pos: dict[int, Position] = {}
+        self._target: dict[int, Position] = {}
+        self._speed: dict[int, float] = {}
+        self._pause_left: dict[int, float] = {}
+        for node in range(n_nodes):
+            self._pos[node] = self._random_point()
+            self._target[node] = self._random_point()
+            self._speed[node] = rng.uniform(lo, hi)
+            self._pause_left[node] = 0.0
+
+    def _random_point(self) -> Position:
+        w, h, d = self._area
+        return (
+            self._rng.uniform(0.0, w),
+            self._rng.uniform(0.0, h),
+            self._rng.uniform(0.0, d) if d > 0 else 0.0,
+        )
+
+    def positions(self) -> dict[int, Position]:
+        return dict(self._pos)
+
+    def advance(self, dt: float) -> None:
+        for node in sorted(self._pos):
+            self._advance_node(node, dt)
+
+    def _advance_node(self, node: int, dt: float) -> None:
+        remaining = dt
+        while remaining > 1e-12:
+            if self._pause_left[node] > 0.0:
+                waited = min(self._pause_left[node], remaining)
+                self._pause_left[node] -= waited
+                remaining -= waited
+                if self._pause_left[node] <= 0.0:
+                    self._target[node] = self._random_point()
+                    lo, hi = self._speed_band
+                    self._speed[node] = self._rng.uniform(lo, hi)
+                continue
+            pos, target = self._pos[node], self._target[node]
+            gap = distance(pos, target)
+            speed = self._speed[node]
+            if gap <= speed * remaining:
+                # Arrives within this step: snap to the waypoint and pause.
+                self._pos[node] = target
+                remaining -= gap / speed if speed > 0 else remaining
+                self._pause_left[node] = self._pause
+                if self._pause == 0.0:
+                    self._target[node] = self._random_point()
+                    lo, hi = self._speed_band
+                    self._speed[node] = self._rng.uniform(lo, hi)
+            else:
+                frac = speed * remaining / gap
+                self._pos[node] = (
+                    pos[0] + (target[0] - pos[0]) * frac,
+                    pos[1] + (target[1] - pos[1]) * frac,
+                    pos[2] + (target[2] - pos[2]) * frac,
+                )
+                remaining = 0.0

@@ -1,7 +1,14 @@
-"""Packet-level network substrate: packets, queues, links, nodes, failures."""
+"""Packet-level network substrate: packets, queues, links, nodes, dynamics."""
 
 from .channels import ReliableChannel
-from .failure import DEFAULT_DETECTION_DELAY, FailureEvent, FailureInjector
+from .dynamics import (
+    DEFAULT_DETECTION_DELAY,
+    LinkEvent,
+    LinkScheduler,
+    ScriptedDriver,
+    SingleLinkFailureDriver,
+    TopologyDriver,
+)
 from .link import DEFAULT_QUEUE_CAPACITY, Link
 from .network import Network
 from .node import Node
@@ -25,8 +32,11 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "Node",
     "Network",
-    "FailureInjector",
-    "FailureEvent",
+    "LinkScheduler",
+    "LinkEvent",
+    "TopologyDriver",
+    "SingleLinkFailureDriver",
+    "ScriptedDriver",
     "DEFAULT_DETECTION_DELAY",
     "ReliableChannel",
 ]

@@ -10,7 +10,7 @@ every queued and in-flight packet is dropped with cause ``LINK_DOWN``, and
 any later transmit attempt is dropped the same way until the link is
 restored.  Failure *detection* is separate — the endpoints learn about the
 failure only after the injector's detection delay (see
-:mod:`repro.net.failure`).
+:mod:`repro.net.dynamics`).
 
 Hot-path notes: serialization and propagation events are scheduled through
 ``Simulator.schedule_call`` (no per-packet lambda allocation), the per-link

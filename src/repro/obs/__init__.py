@@ -30,6 +30,7 @@ from .flight import (
     CausalTimeline,
     FlightRecorder,
     PacketAutopsy,
+    WaveSummary,
     build_causal_timeline,
     build_dump,
     check_dump,
@@ -56,6 +57,7 @@ from .sweeps import SeedTiming, SweepTelemetry
 
 __all__ = [
     "CausalTimeline",
+    "WaveSummary",
     "Counter",
     "FlightRecorder",
     "Gauge",

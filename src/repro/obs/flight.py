@@ -57,6 +57,7 @@ __all__ = [
     "format_autopsy",
     "FibFlip",
     "NodeActivity",
+    "WaveSummary",
     "CausalTimeline",
     "build_causal_timeline",
     "format_causal_timeline",
@@ -432,14 +433,33 @@ class NodeActivity:
 
 
 @dataclass(frozen=True)
+class WaveSummary:
+    """The reconvergence wave attributed to one topology event.
+
+    A run with several link events (churn, flaps) has overlapping
+    reconvergence waves; each event's window runs from its own instant to
+    the next event's (the last to the end of the capture), and the FIB
+    changes falling inside are its wave.  ``first_change``/``last_change``
+    are ``None`` when the window was quiet.
+    """
+
+    event: LinkEventRecord
+    first_change: Optional[float]
+    last_change: Optional[float]
+    n_changes: int
+
+
+@dataclass(frozen=True)
 class CausalTimeline:
-    """The update wave: failure -> per-node FIB churn -> quiescence."""
+    """The update wave: topology events -> per-node FIB churn -> quiescence."""
 
     since: Optional[float]
     links: tuple[LinkEventRecord, ...]
     flips: tuple[FibFlip, ...]
     #: Per-node activity, ordered by first change (the wave front).
     wave: tuple[NodeActivity, ...]
+    #: Per-link-event reconvergence waves, in event order.
+    waves: tuple[WaveSummary, ...] = ()
 
     @property
     def first_change(self) -> Optional[float]:
@@ -507,8 +527,31 @@ def build_causal_timeline(
     wave = tuple(
         sorted(activity.values(), key=lambda a: (a.first_change, a.node))
     )
+
+    # Attribute FIB churn to link events: event i owns [time_i, time_{i+1}),
+    # the last window running to the end of the captured changes.
+    ordered = sorted(links, key=lambda e: e.time)
+    waves = []
+    for i, event in enumerate(ordered):
+        window_end = (
+            ordered[i + 1].time if i + 1 < len(ordered) else float("inf")
+        )
+        in_window = [
+            f.record.time
+            for f in flips
+            if event.time <= f.record.time < window_end
+        ]
+        waves.append(
+            WaveSummary(
+                event=event,
+                first_change=in_window[0] if in_window else None,
+                last_change=in_window[-1] if in_window else None,
+                n_changes=len(in_window),
+            )
+        )
     return CausalTimeline(
-        since=since, links=links, flips=tuple(flips), wave=wave
+        since=since, links=links, flips=tuple(flips), wave=wave,
+        waves=tuple(waves),
     )
 
 
@@ -561,6 +604,22 @@ def format_causal_timeline(
                 f"  last t={a.last_change - origin:+8.3f}s"
                 f"  ({a.n_changes} change(s))"
             )
+    if len(timeline.waves) > 1:
+        lines.append("  per-event reconvergence waves:")
+        for w in timeline.waves:
+            e = w.event
+            label = "restore" if e.up else "fail"
+            if w.n_changes:
+                lines.append(
+                    f"    t={e.time - origin:+8.3f}s {label} ({e.node_a}, "
+                    f"{e.node_b}): {w.n_changes} FIB change(s), "
+                    f"last t={w.last_change - origin:+.3f}s"
+                )
+            else:
+                lines.append(
+                    f"    t={e.time - origin:+8.3f}s {label} ({e.node_a}, "
+                    f"{e.node_b}): quiet"
+                )
     if timeline.converged_at is not None:
         lines.append(
             f"  last FIB change t={timeline.converged_at - origin:+.3f}s"

@@ -209,6 +209,27 @@ class Simulator:
             self._queue_hwm = len(queue)
         return handle
 
+    def schedule_call_at(
+        self, time: float, callback: Callable[..., None], *args
+    ) -> EventHandle:
+        """Fast path: schedule ``callback(*args)`` at absolute virtual ``time``.
+
+        The absolute-time sibling of :meth:`schedule_call` — no closure, no
+        ``now + delay`` float round trip, so an event scheduled at ``time``
+        fires at exactly ``time``.  Used by the topology event layer, whose
+        schedules are expressed in absolute event times.
+        """
+        if not self._now <= time < _INF:
+            raise SimulationError(
+                f"time must be finite and >= now, got t={time!r} (now={self._now})"
+            )
+        handle = EventHandle(time, callback, args)
+        queue = self._queue
+        heapq.heappush(queue, (time, next(self._seq), handle))
+        if len(queue) > self._queue_hwm:
+            self._queue_hwm = len(queue)
+        return handle
+
     def schedule_many(
         self, events: Iterable[tuple[float, Callable[[], None]]]
     ) -> list[EventHandle]:

@@ -1,0 +1,86 @@
+"""Spatial topologies: node positions and range-based connectivity.
+
+The paper's meshes are purely combinatorial; mobility scenarios instead
+place nodes in a metric space and derive links from radio range: two nodes
+share a link exactly when their Euclidean distance is at most the range.
+This module is the pure geometry half of the dynamic-topology stack — the
+mobility models (:mod:`repro.mobility`) move the positions, and the
+:class:`~repro.net.dynamics.LinkScheduler` executes the resulting link
+up/down events.
+
+Everything here is deterministic: connectivity sets are computed over
+sorted node pairs and diffs are returned in canonical order, so a schedule
+derived from the same positions is always byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from .graph import LinkSpec, Topology
+
+__all__ = [
+    "Position",
+    "distance",
+    "connectivity",
+    "connectivity_changes",
+    "derive_topology",
+]
+
+#: A point in simulation space (meters); planar models use z=0.
+Position = tuple[float, float, float]
+
+
+def distance(p: Position, q: Position) -> float:
+    """Euclidean distance between two positions."""
+    return math.sqrt(
+        (p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2 + (p[2] - q[2]) ** 2
+    )
+
+
+def connectivity(
+    positions: Mapping[int, Position], radio_range: float
+) -> set[tuple[int, int]]:
+    """Canonical (min, max) link keys for every in-range node pair."""
+    if radio_range <= 0:
+        raise ValueError(f"radio range must be positive, got {radio_range}")
+    nodes = sorted(positions)
+    links: set[tuple[int, int]] = set()
+    for i, a in enumerate(nodes):
+        pa = positions[a]
+        for b in nodes[i + 1 :]:
+            if distance(pa, positions[b]) <= radio_range:
+                links.add((a, b))
+    return links
+
+
+def connectivity_changes(
+    old: set[tuple[int, int]], new: set[tuple[int, int]]
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """``(downs, ups)`` between two connectivity sets, in canonical order."""
+    return sorted(old - new), sorted(new - old)
+
+
+def derive_topology(
+    positions: Mapping[int, Position],
+    radio_range: float,
+    name: str = "spatial",
+    links: set[tuple[int, int]] | None = None,
+    **link_attrs,
+) -> Topology:
+    """Topology over ``positions``: one link per in-range pair.
+
+    ``links`` overrides the derived connectivity (mobility drivers pass the
+    union of every link that ever exists, so the live network can represent
+    links that only come up later).  Isolated nodes are kept — a node out of
+    everyone's range still runs its protocol.  ``link_attrs`` (cost, delay,
+    bandwidth) apply to every link.
+    """
+    topo = Topology(name=name)
+    for node in sorted(positions):
+        topo.add_node(node)
+    keys = links if links is not None else connectivity(positions, radio_range)
+    for a, b in sorted(keys):
+        topo.add_link(LinkSpec(a, b, **link_attrs))
+    return topo

@@ -6,7 +6,7 @@ import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.extensions import run_node_failure_scenario
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.topology import generators
@@ -20,7 +20,7 @@ class TestFailNode:
     def test_all_adjacent_links_fail(self):
         sim = Simulator()
         net = Network(sim, generators.ring(5))
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         events = injector.fail_node(2, at=1.0)
         assert len(events) == 2
         sim.run(until=2.0)
@@ -36,7 +36,7 @@ class TestFailNode:
         topo.connect(0, 1)
         topo.add_node(9)
         net = Network(sim, topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         with pytest.raises(ValueError):
             injector.fail_node(9, at=1.0)
 

@@ -10,6 +10,7 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import SweepFailure
 from repro.experiments.scenario import run_scenario
+from repro.experiments.persistence import FORMAT_VERSION
 from repro.experiments.store import StoreMismatchError, SweepStore
 
 TINY = ExperimentConfig.quick().with_(
@@ -28,7 +29,7 @@ class TestManifest:
     def test_open_creates_manifest_with_grid_and_hash(self, tmp_path):
         store = make_store(tmp_path)
         manifest = json.loads(open(store.manifest_path).read())
-        assert manifest["format_version"] == 2
+        assert manifest["format_version"] == FORMAT_VERSION
         assert manifest["config_hash"] == TINY.fingerprint()
         assert store.grid() == TINY.grid()
         assert store.load_config() == TINY

@@ -163,7 +163,7 @@ class TestNarrationRegression:
 class TestEndToEnd:
     def test_narrates_a_real_run(self):
         """Full pipeline: run a failure, narrate it, sanity-check the story."""
-        from repro.net.failure import FailureInjector
+        from repro.net.dynamics import LinkScheduler
         from repro.metrics.convergence import ConvergenceTracker
         from repro.topology import generators
         from ..conftest import build_network
@@ -174,7 +174,7 @@ class TestEndToEnd:
             node.protocol.warm_start(topo)
         tracker = ConvergenceTracker(net.bus, dest=2, src=0)
         tracker.seed_from_network(net)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=10.0)
         sim.run(until=30.0)
         events = build_timeline(

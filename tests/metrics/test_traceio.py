@@ -141,7 +141,7 @@ class TestExportBus:
         assert times == sorted(times)
 
     def test_real_run_exports(self, tmp_path):
-        from repro.net.failure import FailureInjector
+        from repro.net.dynamics import LinkScheduler
         from repro.topology import generators
         from ..conftest import build_network
 
@@ -149,7 +149,7 @@ class TestExportBus:
         sim, net, _ = build_network(topo, "dbf")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        FailureInjector(sim, net, detection_delay=0.05).fail_link(0, 1, at=5.0)
+        LinkScheduler(sim, net, detection_delay=0.05).fail_link(0, 1, at=5.0)
         sim.run(until=20.0)
         path = tmp_path / "run.jsonl"
         count = export_bus(net.bus, str(path))

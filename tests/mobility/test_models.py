@@ -1,0 +1,143 @@
+"""Tests for the mobility models: determinism, bounds, protocol shape."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mobility import GaussMarkov, ManhattanGrid, MobilityModel, RandomWaypoint
+
+AREA = (1000.0, 1000.0, 0.0)
+AREA_3D = (1000.0, 1000.0, 300.0)
+
+
+def make_model(name, seed=7, area=AREA):
+    rng = random.Random(seed)
+    if name == "waypoint":
+        return RandomWaypoint(10, area, speed=(5.0, 15.0), pause=1.0, rng=rng)
+    if name == "gauss-markov":
+        return GaussMarkov(10, area, mean_speed=10.0, alpha=0.85, rng=rng)
+    if name == "manhattan":
+        return ManhattanGrid(10, area, blocks=(4, 4), speed=(5.0, 15.0), rng=rng)
+    raise AssertionError(name)
+
+
+MODELS = ("waypoint", "gauss-markov", "manhattan")
+
+
+@pytest.mark.parametrize("name", MODELS)
+class TestAllModels:
+    def test_satisfies_protocol(self, name):
+        assert isinstance(make_model(name), MobilityModel)
+
+    def test_every_node_has_a_position(self, name):
+        model = make_model(name)
+        assert sorted(model.positions()) == list(range(10))
+
+    def test_nodes_actually_move(self, name):
+        model = make_model(name)
+        before = model.positions()
+        model.advance(5.0)
+        after = model.positions()
+        assert any(before[n] != after[n] for n in before)
+
+    def test_stays_inside_area(self, name):
+        model = make_model(name)
+        for _ in range(200):
+            model.advance(1.0)
+            for x, y, z in model.positions().values():
+                assert 0.0 <= x <= AREA[0]
+                assert 0.0 <= y <= AREA[1]
+                assert z == 0.0  # planar area keeps z pinned
+
+    def test_same_seed_same_trajectory(self, name):
+        a, b = make_model(name, seed=42), make_model(name, seed=42)
+        for _ in range(50):
+            a.advance(1.0)
+            b.advance(1.0)
+        assert a.positions() == b.positions()
+
+    def test_different_seeds_diverge(self, name):
+        a, b = make_model(name, seed=1), make_model(name, seed=2)
+        assert a.positions() != b.positions()
+
+    def test_positions_returns_a_copy(self, name):
+        model = make_model(name)
+        snap = model.positions()
+        model.advance(10.0)
+        assert snap != model.positions() or snap == model.positions()
+        # The snapshot must be detached from internal state.
+        snap[0] = (-1.0, -1.0, -1.0)
+        assert model.positions()[0] != (-1.0, -1.0, -1.0)
+
+
+class TestWaypoint:
+    def test_pause_holds_position(self):
+        rng = random.Random(3)
+        model = RandomWaypoint(1, AREA, speed=(1e9, 1e9), pause=100.0, rng=rng)
+        model.advance(0.001)  # arrives nearly instantly, starts pausing
+        resting = model.positions()[0]
+        model.advance(10.0)
+        assert model.positions()[0] == resting
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(0, AREA, speed=(1.0, 2.0), pause=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            RandomWaypoint(2, AREA, speed=(5.0, 1.0), pause=0.0, rng=rng)
+
+
+class TestGaussMarkov:
+    def test_3d_area_uses_depth(self):
+        model = GaussMarkov(
+            20, AREA_3D, mean_speed=10.0, alpha=0.85, rng=random.Random(5)
+        )
+        for _ in range(20):
+            model.advance(1.0)
+        zs = [z for _, _, z in model.positions().values()]
+        assert any(z > 0.0 for z in zs)
+        assert all(0.0 <= z <= AREA_3D[2] for z in zs)
+
+    def test_high_alpha_is_smoother_than_low(self):
+        def turn_total(alpha):
+            model = GaussMarkov(
+                1, (1e6, 1e6, 0.0), mean_speed=10.0, alpha=alpha,
+                rng=random.Random(11),
+            )
+            headings = []
+            for _ in range(100):
+                model.advance(1.0)
+                headings.append(model._heading[0])
+            return sum(
+                abs(b - a) for a, b in zip(headings, headings[1:])
+            )
+
+        assert turn_total(0.95) < turn_total(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussMarkov(2, AREA, mean_speed=10.0, alpha=1.0, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            GaussMarkov(2, AREA, mean_speed=0.0, alpha=0.5, rng=random.Random(0))
+
+
+class TestManhattan:
+    def test_positions_stay_on_streets(self):
+        model = ManhattanGrid(
+            10, AREA, blocks=(4, 4), speed=(5.0, 15.0), rng=random.Random(9)
+        )
+        sx, sy = 1000.0 / 4, 1000.0 / 4
+        for _ in range(100):
+            model.advance(1.0)
+            for x, y, _ in model.positions().values():
+                on_vertical = abs(x / sx - round(x / sx)) < 1e-9
+                on_horizontal = abs(y / sy - round(y / sy)) < 1e-9
+                assert on_vertical or on_horizontal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManhattanGrid(
+                2, AREA, blocks=(0, 4), speed=(5.0, 15.0), rng=random.Random(0)
+            )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.bgp import BgpConfig, BgpProtocol
 from repro.routing.messages import PathVectorUpdate, PathVectorWithdrawal
 from repro.routing.rib import PathAttr
@@ -207,7 +207,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "bgp", bgp_config=FAST)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         assert net.node(0).next_hop(3) == 1
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=10.051)
@@ -218,7 +218,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "bgp", bgp_config=FAST)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=11.0)
         proto0 = net.node(0).protocol
@@ -230,7 +230,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "bgp", bgp_config=FAST)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 3, at=10.0)
         sim.run(until=60.0)
         # All routes must avoid the dead link and be shortest in the new graph.
@@ -243,7 +243,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "bgp", bgp_config=FAST)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=10.0)
         sim.run(until=30.0)
         assert net.node(0).protocol.route_metric(2) is None

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.bgp import BgpConfig, BgpProtocol
 from repro.routing.damping import DampingConfig, RouteDampener
 from repro.routing.messages import PathVectorUpdate, PathVectorWithdrawal

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.dbf import DbfProtocol
 from repro.routing.dv_common import DistanceVectorConfig
 from repro.routing.messages import DistanceVectorUpdate
@@ -55,7 +55,7 @@ class TestInstantSwitchOver:
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
         assert net.node(0).next_hop(3) == 1  # tie-break: lowest neighbor
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=10.051)
         # Switched at the detection instant, not a periodic interval later.
@@ -75,7 +75,7 @@ class TestInstantSwitchOver:
         proto1 = net.node(1).protocol
         # Node 0 routes to 2 through node 1, so its cached advert is poisoned.
         assert proto1.cache.advertised(0, 2) == proto1.config.infinity
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=5.0)
         sim.run(until=6.0)
         assert net.node(1).next_hop(2) is None  # no valid alternate exists
@@ -131,7 +131,7 @@ class TestCountingToNextBest:
         sim, net, _ = build_network(topo, "dbf")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=60.0)
         assert net.node(0).protocol.route_metric(1) == 4
@@ -143,7 +143,7 @@ class TestCountingToNextBest:
         sim, net, _ = build_network(topo, "dbf", dv_config=config)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=120.0)
         assert net.node(0).protocol.route_metric(2) is None

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.metrics.convergence import ConvergenceTracker
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.dual import DualProtocol, DualQuery, DualReply, DualUpdate, INFINITY
 from repro.sim.rng import RngStreams
 from repro.topology import generators
@@ -56,7 +56,7 @@ class TestFeasibility:
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
         bus = net.bus
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=10.06)
         # Neighbor 2 advertises distance 1 < FD 2: feasible, so the switch
@@ -75,7 +75,7 @@ class TestFeasibility:
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
         proto1 = net.node(1).protocol
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=10.0)
         sim.run(until=60.0)
         assert proto1.diffusions_started >= 1
@@ -89,7 +89,7 @@ class TestFeasibility:
         sim, net, _ = build_network(topo, "dual")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=60.0)
         assert net.node(0).protocol.route_metric(1) == 4

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.dv_common import DistanceVectorConfig
 from repro.routing.messages import DistanceVectorUpdate
 from repro.routing.rip import RipProtocol
@@ -21,7 +21,7 @@ class TestLinkUpHandling:
         sim, net, _ = build_network(topo, protocol)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         injector.restore_link(0, 1, at=20.0)
         sim.run(until=120.0)  # several periodic cycles after restoration
@@ -32,7 +32,7 @@ class TestLinkUpHandling:
         sim, net, _ = build_network(topo, "rip")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=5.0)
         injector.restore_link(0, 1, at=10.0)
         before = len([m for m in net.bus.messages if 10.0 <= m.time < 10.2])

@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.bgp import BgpConfig, BgpProtocol
 from repro.routing.dbf import DbfProtocol
 from repro.routing.messages import (
@@ -156,7 +156,7 @@ class TestReconvergenceFuzz:
         sim, net, _ = build_network(topo, protocol, bgp_config=FAST_BGP)
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(a, b, at=1.0)
         sim.run(until=60.0)
 

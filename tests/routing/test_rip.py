@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.dv_common import DistanceVectorConfig
 from repro.routing.messages import DistanceVectorUpdate
 from repro.routing.rip import RipProtocol
@@ -57,7 +57,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "rip")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         # Node 0 reaches 2 via 1 (tie-break); fail (0, 1).
         assert net.node(0).next_hop(2) == 1
         injector.fail_link(0, 1, at=10.0)
@@ -73,7 +73,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "rip")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=5.0)
         sim.run(until=6.0)
         # 1 lost its only path to 2; 0 learns via 1's triggered poison.
@@ -85,7 +85,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "rip")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(3, 4, at=5.0)
         sim.run(until=5.5)  # well before any periodic interval
         assert net.node(0).protocol.route_metric(4) is None

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.dv_common import DistanceVectorConfig
 from repro.routing.messages import DistanceVectorUpdate
 from repro.routing.rip import RipProtocol

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.spf import Lsa, SpfProtocol
 from repro.sim.rng import RngStreams
 from repro.topology import generators
@@ -69,7 +69,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "spf")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         assert net.node(0).next_hop(3) == 1
         injector.fail_link(1, 3, at=10.0)
         sim.run(until=11.0)
@@ -94,7 +94,7 @@ class TestFailureResponse:
         sim, net, _ = build_network(topo, "spf")
         for node in net.iter_nodes():
             node.protocol.warm_start(topo)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=10.0)
         sim.run(until=12.0)
         assert net.node(0).next_hop(2) is None

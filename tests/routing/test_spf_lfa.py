@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.routing.spf import SpfConfig, SpfProtocol
 from repro.sim.rng import RngStreams
 from repro.topology import generators
@@ -50,7 +50,7 @@ class TestSpfThrottling:
         config = SpfConfig(spf_delay=2.0)
         topo = diamond()
         sim, net = build_spf(topo, config)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 3, at=10.0)
         sim.run(until=11.0)
         # Detection at 10.05, recompute throttled until 12.05: stale route.
@@ -64,7 +64,7 @@ class TestSpfThrottling:
         sim, net = build_spf(topo, config)
         proto = net.node(0).protocol
         before = proto.recomputations
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 3, at=10.0)
         sim.run(until=20.0)
         # Both endpoints' LSAs arrive within the throttle window -> 1 run.
@@ -86,7 +86,7 @@ class TestLfa:
         config = SpfConfig(spf_delay=5.0, lfa=True)
         topo = diamond()
         sim, net = build_spf(topo, config)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=10.0)
         sim.run(until=10.1)
         # Recompute is throttled until ~15 s, but the LFA switched already.

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.topology import generators
 
 from ..conftest import build_network, metrics_match_shortest_paths
@@ -22,7 +22,7 @@ class TestStatic:
         sim, net, _ = build_network(topo, "static")
         net.start_protocols()
         before = net.node(0).next_hop(2)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(0, 1, at=5.0)
         sim.run(until=20.0)
         assert net.node(0).next_hop(2) == before

@@ -94,7 +94,7 @@ class TestZeroAllocationFastPath:
         """Link records obey the guard too: a fully quiet bus sees zero
         publishes even across a fail/restore cycle (the counters still
         count both transitions)."""
-        from repro.net.failure import FailureInjector
+        from repro.net.dynamics import LinkScheduler
 
         bus = CountingBus(
             keep_packets=False, keep_routes=False, keep_messages=False,
@@ -102,7 +102,7 @@ class TestZeroAllocationFastPath:
         )
         sim = Simulator()
         net = Network(sim, generators.line(4), bus)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=1.0)
         injector.restore_link(1, 2, at=2.0)
         sim.run(until=3.0)
@@ -111,7 +111,7 @@ class TestZeroAllocationFastPath:
         assert bus.link_events == []
 
     def test_subscribed_link_flap_publishes_both_transitions(self):
-        from repro.net.failure import FailureInjector
+        from repro.net.dynamics import LinkScheduler
 
         bus = CountingBus(
             keep_packets=False, keep_routes=False, keep_messages=False,
@@ -121,7 +121,7 @@ class TestZeroAllocationFastPath:
         bus.subscribe("link", seen.append)
         sim = Simulator()
         net = Network(sim, generators.line(4), bus)
-        injector = FailureInjector(sim, net, detection_delay=0.05)
+        injector = LinkScheduler(sim, net, detection_delay=0.05)
         injector.fail_link(1, 2, at=1.0)
         injector.restore_link(1, 2, at=2.0)
         sim.run(until=3.0)

@@ -1,0 +1,78 @@
+"""Tests for spatial topologies (positions -> range-based connectivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.spatial import (
+    connectivity,
+    connectivity_changes,
+    derive_topology,
+    distance,
+)
+
+
+class TestDistance:
+    def test_planar(self):
+        assert distance((0, 0, 0), (3, 4, 0)) == 5.0
+
+    def test_3d(self):
+        assert distance((1, 2, 2), (1, 2, 0)) == 2.0
+
+
+class TestConnectivity:
+    POSITIONS = {0: (0.0, 0.0, 0.0), 1: (100.0, 0.0, 0.0), 2: (300.0, 0.0, 0.0)}
+
+    def test_in_range_pairs_linked(self):
+        assert connectivity(self.POSITIONS, radio_range=150.0) == {(0, 1)}
+
+    def test_range_is_inclusive(self):
+        assert (0, 1) in connectivity(self.POSITIONS, radio_range=100.0)
+
+    def test_wide_range_links_everyone(self):
+        links = connectivity(self.POSITIONS, radio_range=1000.0)
+        assert links == {(0, 1), (0, 2), (1, 2)}
+
+    def test_keys_are_canonical(self):
+        links = connectivity(self.POSITIONS, radio_range=1000.0)
+        assert all(a < b for a, b in links)
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(ValueError):
+            connectivity(self.POSITIONS, radio_range=0.0)
+
+
+class TestConnectivityChanges:
+    def test_downs_and_ups_sorted(self):
+        old = {(0, 1), (2, 3), (1, 2)}
+        new = {(0, 1), (0, 3), (0, 2)}
+        downs, ups = connectivity_changes(old, new)
+        assert downs == [(1, 2), (2, 3)]
+        assert ups == [(0, 2), (0, 3)]
+
+    def test_no_change(self):
+        assert connectivity_changes({(0, 1)}, {(0, 1)}) == ([], [])
+
+
+class TestDeriveTopology:
+    def test_topology_matches_connectivity(self):
+        positions = {0: (0.0, 0.0, 0.0), 1: (50.0, 0.0, 0.0), 2: (500.0, 0.0, 0.0)}
+        topo = derive_topology(positions, radio_range=100.0)
+        assert topo.has_link(0, 1)
+        assert not topo.has_link(1, 2)
+
+    def test_isolated_nodes_kept(self):
+        positions = {0: (0.0, 0.0, 0.0), 1: (999.0, 999.0, 0.0)}
+        topo = derive_topology(positions, radio_range=10.0)
+        assert topo.nodes == {0, 1}
+        assert topo.n_links == 0
+
+    def test_explicit_links_override_derivation(self):
+        positions = {0: (0.0, 0.0, 0.0), 1: (999.0, 0.0, 0.0)}
+        topo = derive_topology(positions, radio_range=10.0, links={(0, 1)})
+        assert topo.has_link(0, 1)
+
+    def test_link_attrs_forwarded(self):
+        positions = {0: (0.0, 0.0, 0.0), 1: (50.0, 0.0, 0.0)}
+        topo = derive_topology(positions, radio_range=100.0, cost=7)
+        assert topo.link(0, 1).cost == 7

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.failure import FailureInjector
+from repro.net.dynamics import LinkScheduler
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.topology import generators
@@ -86,7 +86,7 @@ class TestLossRecovery:
         cfg = TransportConfig(window=4, initial_rto=0.5)
         tx = make_pair(sim, net, total=200, config=cfg)
         tx.start()
-        injector = FailureInjector(sim, net, detection_delay=0.01)
+        injector = LinkScheduler(sim, net, detection_delay=0.01)
         injector.fail_link(1, 2, at=0.2)
         injector.restore_link(1, 2, at=3.0)
         sim.run(until=120.0)
