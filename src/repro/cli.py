@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of movement after the field starts churning",
     )
     churn_p.add_argument(
+        "--settle", type=float, default=0.0, metavar="SECONDS",
+        help="stop movement this long before the end so routing can quiesce "
+             "(required for end-of-run oracle judgments)",
+    )
+    churn_p.add_argument(
         "--validate", action="store_true",
         help="attach the invariant monitor suite; violations exit non-zero",
     )
@@ -90,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("number", type=int, choices=(2, 3, 4, 5, 6, 7))
     fig_p.add_argument("--degrees", type=int, nargs="+", help="degrees to include")
     fig_p.add_argument("--runs", type=int, help="seeds per data point")
+    fig_p.add_argument(
+        "--matrix", action="store_true",
+        help="full protocol matrix: the paper's wired protocols plus the "
+             "MANET trio (aodv/dsr/olsr) side by side",
+    )
 
     sweep_p = sub.add_parser("sweep", help="full protocol x degree sweep")
     sweep_p.add_argument("--protocols", nargs="+", choices=PROTOCOL_NAMES)
@@ -163,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
     val_p.add_argument(
         "--skip-oracle", action="store_true",
         help="fuzz only; skip the differential oracle pass",
+    )
+    val_p.add_argument(
+        "--churn", action="store_true",
+        help="also run the churn differential oracle (aodv/dsr/olsr under "
+             "mobility with a quiet settle tail)",
+    )
+    val_p.add_argument(
+        "--churn-seeds", type=int, default=2,
+        help="seeds per mobility model for the churn oracle (default 2)",
     )
 
     prof_p = sub.add_parser(
@@ -270,6 +289,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"routing convergence={r.routing_convergence:.3f}s "
         f"converged_to_expected={r.converged_to_expected}"
     )
+    if r.manet is not None:
+        print(f"manet: {r.manet.summary()}")
     return 0
 
 
@@ -282,6 +303,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
             model=args.model,
             n_nodes=args.nodes,
             radio_range=args.radio_range,
+            settle_time=args.settle,
         ),
     )
     monitors = None
@@ -314,6 +336,8 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         f"no_route={r.drops_no_route} ttl={r.drops_ttl} "
         f"link_down={r.drops_link_down} queue={r.drops_queue}"
     )
+    if r.manet is not None:
+        print(f"manet: {r.manet.summary()}")
     if monitors is not None:
         if r.violations:
             print(f"INVARIANT VIOLATIONS ({len(r.violations)}):")
@@ -328,6 +352,10 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     config = _config(args)
+    if getattr(args, "matrix", False):
+        from .experiments.config import MATRIX_PROTOCOLS
+
+        config = config.with_(protocols=MATRIX_PROTOCOLS)
     n = args.number
     if n == 2:
         out = fig.figure2_topologies()
@@ -555,6 +583,30 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             for seed in range(1, args.oracle_seeds + 1):
                 diff = run_differential(degree, seed)
                 print(f"  {diff.summary()}")
+                if not diff.ok:
+                    failed = True
+                    for v in diff.all_violations()[:10]:
+                        print(f"       {v}")
+
+    if getattr(args, "churn", False):
+        from .validation.monitors import settle_margin_for
+        from .validation.oracle import run_churn_differential
+
+        manet = ("aodv", "dsr", "olsr")
+        settle = max(settle_margin_for(p) for p in manet) + 17.0
+        models = ("waypoint", "manhattan")
+        print(
+            f"churn oracle: protocols={','.join(manet)} models={models} "
+            f"x {args.churn_seeds} seed(s), settle tail {settle:g}s"
+        )
+        for model in models:
+            for seed in range(1, args.churn_seeds + 1):
+                cfg = ExperimentConfig.quick().with_(
+                    post_fail_window=40.0 + settle,
+                    churn=ChurnConfig(model=model, settle_time=settle),
+                )
+                diff = run_churn_differential(seed, cfg)
+                print(f"  {model} {diff.summary()}")
                 if not diff.ok:
                     failed = True
                     for v in diff.all_violations()[:10]:

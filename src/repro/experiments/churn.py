@@ -27,6 +27,7 @@ from ..metrics.convergence import (
     attribute_waves,
 )
 from ..metrics.counters import DropCounter, MessageCounter
+from ..metrics.manet import analyze_manet
 from ..metrics.reordering import analyze_reordering
 from ..metrics.timeseries import delay_series, throughput_series
 from ..mobility import GaussMarkov, ManhattanGrid, MobilityDriver, RandomWaypoint
@@ -127,7 +128,9 @@ def run_churn_scenario(
         start=config.fail_time,
     )
     end_at = config.end_time
-    schedule = driver.build(end_at)
+    # Movement (and thus link churn) stops ``settle_time`` seconds early so
+    # the final stretch of the run can quiesce for oracle comparison.
+    schedule = driver.build(max(config.fail_time, end_at - churn.settle_time))
     sender, receiver = _pick_flow(
         rng_streams.stream("scenario"), schedule, churn.n_nodes
     )
@@ -181,6 +184,8 @@ def run_churn_scenario(
     net_watcher = NetworkConvergenceWatcher(bus)
     drop_counter = DropCounter(bus, window_start=first_at)
     message_counter = MessageCounter(bus, window_start=first_at)
+    # Whole-run overhead for the MANET triple (NRL is not windowed).
+    overhead_counter = MessageCounter(bus)
 
     sink = PacketSink(flow_id=1, ttl_at_send=config.ttl)
     network.node(receiver).attach_app(sink)
@@ -218,6 +223,11 @@ def run_churn_scenario(
                     else None
                 ),
                 settle_margin=settle_margin_for(protocol),
+                active_dests=frozenset({receiver}),
+                # Link restores legitimately leave reactive routes longer
+                # than optimal (a working route is never re-discovered), so
+                # churn runs check validity/loop-freedom, not exact costs.
+                reactive_strict=False,
             )
         )
 
@@ -265,6 +275,12 @@ def run_churn_scenario(
         messages=message_counter.messages,
         withdrawals=message_counter.withdrawals,
         reordering=analyze_reordering(deliveries),
+        manet=analyze_manet(
+            source.sent,
+            deliveries,
+            overhead_counter.messages,
+            control_bytes=overhead_counter.bytes_sent,
+        ),
     )
     if monitors is not None:
         result.violations = tuple(str(v) for v in monitors.finalize())
@@ -294,4 +310,5 @@ def run_churn_scenario(
         recorder.close()
     drop_counter.close()
     message_counter.close()
+    overhead_counter.close()
     return result

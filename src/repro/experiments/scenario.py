@@ -28,6 +28,7 @@ from ..metrics.convergence import (
 )
 from ..metrics.counters import DropCounter, MessageCounter
 from ..metrics.loops import LoopReport, analyze_deliveries
+from ..metrics.manet import ManetReport, analyze_manet
 from ..metrics.reordering import ReorderingReport, analyze_reordering
 from ..metrics.timeseries import BinnedSeries, delay_series, throughput_series
 from ..net.dynamics import LinkScheduler, SingleLinkFailureDriver, TopologyDriver
@@ -35,8 +36,11 @@ from ..net.network import Network
 from ..net.node import Node
 from ..obs.flight import FlightRecorder, build_dump, save_dump
 from ..obs.profiler import NULL_PROFILER
+from ..routing.aodv import AodvProtocol
 from ..routing.bgp import BgpConfig, BgpProtocol
 from ..routing.damping import DampingConfig
+from ..routing.dsr import DsrProtocol
+from ..routing.olsr import OlsrProtocol
 from ..routing.dbf import DbfProtocol
 from ..routing.dual import DualProtocol
 from ..routing.dv_common import DistanceVectorConfig
@@ -133,6 +137,8 @@ class ScenarioResult:
     loop_report: Optional[LoopReport] = None
     # Arrival-order inversion analysis (always computed).
     reordering: Optional[ReorderingReport] = None
+    # MANET triple: PDR / normalized routing load / E2E delay (whole run).
+    manet: Optional[ManetReport] = None
     # Invariant-monitor findings (non-empty only for validated runs).
     violations: tuple[str, ...] = ()
     # Monitors that declined to judge this run: name -> reason.
@@ -233,6 +239,12 @@ def make_protocol_factory(
             )
         if name == "static":
             return StaticProtocol(node, rng_streams, topology)
+        if name == "aodv":
+            return AodvProtocol(node, rng_streams)
+        if name == "dsr":
+            return DsrProtocol(node, rng_streams)
+        if name == "olsr":
+            return OlsrProtocol(node, rng_streams)
         raise ValueError(f"unknown protocol {name!r}")
 
     return factory
@@ -369,6 +381,9 @@ def run_scenario(
     net_watcher = NetworkConvergenceWatcher(bus)
     drop_counter = DropCounter(bus, window_start=fail_at)
     message_counter = MessageCounter(bus, window_start=fail_at)
+    # Whole-run overhead for the MANET triple: NRL counts every control
+    # packet the protocol ever sent, not just the post-failure window.
+    overhead_counter = MessageCounter(bus)
 
     sink = PacketSink(flow_id=1, ttl_at_send=config.ttl)
     network.node(receiver).attach_app(sink)
@@ -436,6 +451,9 @@ def run_scenario(
                     else None
                 ),
                 settle_margin=settle_margin_for(protocol),
+                # One CBR flow: the receiver is the only destination data
+                # wants, which is what reactive protocols are judged on.
+                active_dests=frozenset({receiver}),
             )
         )
 
@@ -494,6 +512,12 @@ def run_scenario(
             messages=message_counter.messages,
             withdrawals=message_counter.withdrawals,
             reordering=analyze_reordering(deliveries),
+            manet=analyze_manet(
+                source.sent,
+                deliveries,
+                overhead_counter.messages,
+                control_bytes=overhead_counter.bytes_sent,
+            ),
         )
         if config.record_paths:
             steady_hops = len(pre_path) - 2  # forwarding hops on the original path
@@ -533,6 +557,7 @@ def run_scenario(
         recorder.close()
     drop_counter.close()
     message_counter.close()
+    overhead_counter.close()
     if obs is not None:
         obs.finalize(sim=sim, network=network, bus=bus)
     return result

@@ -3,6 +3,7 @@
 from .convergence import ConvergenceTracker, PathSnapshot, walk_forwarding_path
 from .counters import DropCounter, MessageCounter
 from .loops import LoopReport, analyze_deliveries, first_loop, path_has_loop
+from .manet import DelayStats, ManetReport, analyze_manet, delay_stats
 from .narrate import TimelineEvent, build_timeline, format_timeline
 from .reordering import ReorderingReport, analyze_reordering
 from .timeseries import (
@@ -28,6 +29,10 @@ __all__ = [
     "TimelineEvent",
     "build_timeline",
     "format_timeline",
+    "DelayStats",
+    "ManetReport",
+    "analyze_manet",
+    "delay_stats",
     "ReorderingReport",
     "analyze_reordering",
     "analyze_deliveries",

@@ -64,6 +64,7 @@ class Node:
         "forwarded",
         "drops",
         "route_cause",
+        "route_miss",
         "_tx",
     )
 
@@ -95,6 +96,11 @@ class Node:
         #: applied (see ``RoutingProtocol.route_cause``), names the event so
         #: route-change records can attribute FIB flips causally.
         self.route_cause: Optional[tuple[str, Optional[int]]] = None
+        #: Reactive-routing hook: when set, a data packet that misses the FIB
+        #: is handed here (on-demand discovery, source-route forwarding)
+        #: instead of being dropped.  ``None`` keeps the classic drop — the
+        #: hook costs nothing on the FIB-hit fast path.
+        self.route_miss: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------------ wiring
 
@@ -210,13 +216,34 @@ class Node:
     def _lookup_and_transmit(self, packet: Packet) -> None:
         nh = self.fib.get(packet.dst)
         if nh is None:
-            self.drop(packet, DropCause.NO_ROUTE)
+            if self.route_miss is not None:
+                self.route_miss(packet)
+            else:
+                self.drop(packet, DropCause.NO_ROUTE)
             return
         send = self._tx.get(nh)
         if send is None:
-            self.drop(packet, DropCause.NO_ROUTE)
+            if self.route_miss is not None:
+                self.route_miss(packet)
+            else:
+                self.drop(packet, DropCause.NO_ROUTE)
             return
         send(packet)
+
+    def transmit_to(self, packet: Packet, next_hop: int) -> bool:
+        """Push ``packet`` onto the channel toward ``next_hop`` directly.
+
+        Used by reactive protocols to release buffered packets after route
+        discovery and to forward along DSR source routes, bypassing the FIB.
+        Returns False (and drops as NO_ROUTE) when ``next_hop`` is not
+        currently attached.
+        """
+        send = self._tx.get(next_hop)
+        if send is None:
+            self.drop(packet, DropCause.NO_ROUTE)
+            return False
+        send(packet)
+        return True
 
     def _deliver_local(self, packet: Packet) -> None:
         self.delivered += 1

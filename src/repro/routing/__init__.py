@@ -1,7 +1,11 @@
-"""Routing protocols: RIP, DBF, BGP (+BGP-3), SPF extension, static baseline."""
+"""Routing protocols: RIP, DBF, BGP (+BGP-3), SPF extension, MANET trio
+(AODV/DSR/OLSR), static baseline."""
 
+from .aodv import AodvConfig, AodvProtocol, Rerr, Rrep, Rreq
 from .base import RoutingProtocol
 from .bgp import BgpConfig, BgpProtocol
+from .dsr import DsrConfig, DsrProtocol, RouteError, RouteReply, RouteRequest
+from .olsr import OlsrConfig, OlsrHello, OlsrProtocol, OlsrTc, select_mprs
 from .damping import DampingConfig, RouteDampener
 from .dbf import DbfProtocol
 from .dual import DualProtocol, DualQuery, DualReply, DualUpdate
@@ -27,6 +31,21 @@ from .static import StaticProtocol
 
 __all__ = [
     "RoutingProtocol",
+    "AodvProtocol",
+    "AodvConfig",
+    "Rreq",
+    "Rrep",
+    "Rerr",
+    "DsrProtocol",
+    "DsrConfig",
+    "RouteRequest",
+    "RouteReply",
+    "RouteError",
+    "OlsrProtocol",
+    "OlsrConfig",
+    "OlsrHello",
+    "OlsrTc",
+    "select_mprs",
     "RipProtocol",
     "DbfProtocol",
     "DualProtocol",

@@ -101,6 +101,15 @@ class RoutingProtocol(abc.ABC):
     def route_metric(self, dest: int) -> Optional[int]:
         """Current metric/path length to ``dest`` (None if unreachable)."""
 
+    def pending_data_packets(self) -> int:
+        """Data packets the protocol is holding (reactive discovery buffers).
+
+        Proactive protocols never buffer data, so the default is 0.  The
+        packet-conservation monitor adds this to the in-network count: a
+        packet parked in an AODV/DSR discovery buffer is alive, not leaked.
+        """
+        return 0
+
     # ---------------------------------------------------------------- helpers
 
     def link_costs(self, only_up: bool = True) -> dict[int, int]:

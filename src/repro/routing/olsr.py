@@ -1,0 +1,352 @@
+"""OLSR — Optimized Link State Routing (RFC 3626, simplified).
+
+The proactive member of the MANET trio.  Every node periodically HELLOs its
+neighbors (carrying its neighbor list and its chosen MultiPoint Relays) and
+the nodes *selected* as MPRs periodically originate Topology Control (TC)
+messages listing their selectors.  TCs flood network-wide, but — the "O" in
+OLSR — a node retransmits a TC only when the sender selected it as MPR, so
+the flood rides the MPR backbone instead of hitting every edge.  Routes are
+hop-count Dijkstra over the partial topology the TCs reveal: symmetric 1-hop
+links plus one edge per (TC origin, selector) pair.  On unit-cost graphs that
+partial view still contains a shortest path to every destination — MPR
+coverage guarantees it — which is why OLSR joins the harness's convergent
+set and is held to strict SPF-cost agreement at quiescence.
+
+Simplifications (docs/manet.md): neighbor liveness comes from the
+simulator's link-layer failure detection (``handle_link_down``), not HELLO
+hold timers, so there is no detection lag to model twice; link hysteresis
+and multiple-interface handling are dropped; willingness is uniform.  MPR
+selection is the RFC's greedy heuristic with the deterministic smallest-id
+tie-break used across this repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+import networkx as nx
+
+from ..net.node import Node
+from ..net.packet import CONTROL_HEADER_BYTES
+from ..sim.rng import RngStreams
+from ..sim.timers import JitteredInterval, PeriodicTimer
+from ..topology.graph import Topology, shortest_path_tree
+from .base import RoutingProtocol
+
+__all__ = ["OlsrConfig", "OlsrProtocol", "OlsrHello", "OlsrTc", "select_mprs"]
+
+#: Bytes per neighbor entry in a HELLO / per selector in a TC.
+NEIGHBOR_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class OlsrHello:
+    """Link-local beacon: who I hear, who I consider symmetric, my MPRs."""
+
+    origin: int
+    #: (neighbor id, "sym" | "heard") pairs.
+    neighbors: tuple[tuple[int, str], ...]
+    mprs: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + NEIGHBOR_ENTRY_BYTES * (
+            len(self.neighbors) + len(self.mprs)
+        )
+
+
+@dataclass(frozen=True)
+class OlsrTc:
+    """Flooded topology declaration: the origin's MPR selectors."""
+
+    origin: int
+    seq: int
+    selectors: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + NEIGHBOR_ENTRY_BYTES * len(self.selectors)
+
+
+@dataclass(frozen=True)
+class OlsrConfig:
+    """Beacon cadence (RFC 3626 defaults) and labeling."""
+
+    hello_interval: float = 2.0
+    hello_jitter: float = 0.2
+    tc_interval: float = 5.0
+    tc_jitter: float = 0.5
+    label: str = "olsr"
+
+    def __post_init__(self) -> None:
+        if self.hello_interval <= 0 or self.tc_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if not (0 <= self.hello_jitter <= self.hello_interval):
+            raise ValueError("hello_jitter out of range")
+        if not (0 <= self.tc_jitter <= self.tc_interval):
+            raise ValueError("tc_jitter out of range")
+
+
+def select_mprs(
+    self_id: int,
+    sym_neighbors: Iterable[int],
+    two_hop: Mapping[int, frozenset[int] | set[int]],
+) -> set[int]:
+    """RFC 3626 §8.3.1 greedy MPR heuristic, deterministic tie-break.
+
+    Picks a subset of ``sym_neighbors`` covering every strict 2-hop neighbor:
+    first the sole providers (neighbors that are the only path to some 2-hop
+    node), then repeatedly the neighbor covering the most still-uncovered
+    2-hop nodes (smallest id on ties).
+    """
+    neighbors = set(sym_neighbors)
+    reach = {
+        n: set(two_hop.get(n, ())) - neighbors - {self_id, n} for n in neighbors
+    }
+    uncovered = set().union(*reach.values()) if reach else set()
+    mprs: set[int] = set()
+    # Sole providers are forced picks.
+    for target in sorted(uncovered):
+        providers = [n for n in sorted(neighbors) if target in reach[n]]
+        if len(providers) == 1:
+            mprs.add(providers[0])
+    for m in mprs:
+        uncovered -= reach[m]
+    while uncovered:
+        best = min(
+            (n for n in neighbors - mprs),
+            key=lambda n: (-len(reach[n] & uncovered), n),
+            default=None,
+        )
+        if best is None or not (reach[best] & uncovered):
+            break  # remaining 2-hop nodes are not coverable right now
+        mprs.add(best)
+        uncovered -= reach[best]
+    return mprs
+
+
+class OlsrProtocol(RoutingProtocol):
+    """Proactive link state over an MPR flooding backbone."""
+
+    name = "olsr"
+
+    def __init__(
+        self,
+        node: Node,
+        rng_streams: RngStreams,
+        config: Optional[OlsrConfig] = None,
+    ) -> None:
+        self.config = config or OlsrConfig()
+        self.name = self.config.label
+        super().__init__(node, rng_streams)
+        #: neighbor -> "sym" | "heard" (up links only).
+        self._nbr: dict[int, str] = {}
+        #: neighbor -> its symmetric neighbor set (from its HELLOs).
+        self._two_hop: dict[int, set[int]] = {}
+        #: Our chosen relays, and the neighbors that chose us.
+        self.mprs: set[int] = set()
+        self.mpr_selectors: set[int] = set()
+        self._tc_seq = 0
+        #: TC table: origin -> (seq, selector set, expires_at).  Entries are
+        #: refreshed by every TC period; an origin that stops advertising
+        #: (lost all its selectors, or left the network) ages out after
+        #: TOP_HOLD_TIME = 3 TC intervals instead of haunting the graph.
+        self._topo: dict[int, tuple[int, frozenset[int], float]] = {}
+        self._metrics: dict[int, int] = {}
+        #: Keep originating (empty, retracting) TCs until this time even if
+        #: we have no selectors left — remote nodes must learn our old edges
+        #: are gone without waiting a full TOP_HOLD_TIME for expiry.
+        self._retract_until = 0.0
+        self.tc_forwards = 0
+        self._hello_timer = PeriodicTimer(
+            self.sim,
+            JitteredInterval(self.config.hello_interval, self.config.hello_jitter, self.rng),
+            self._send_hello,
+        )
+        self._tc_timer = PeriodicTimer(
+            self.sim,
+            JitteredInterval(self.config.tc_interval, self.config.tc_jitter, self.rng),
+            self._originate_tc,
+        )
+
+    # --------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        for nbr in self.node.up_neighbors():
+            self._nbr[nbr] = "heard"
+        self._hello_timer.start(self.rng.uniform(0, self.config.hello_interval))
+        self._tc_timer.start(self.rng.uniform(0, self.config.tc_interval))
+        self._send_hello()
+
+    def warm_start(self, topology: Topology) -> None:
+        """Install the state cold HELLO/TC exchange converges to."""
+        me = self.node.id
+        adj = {n: set(topology.neighbors(n)) for n in topology.nodes}
+        for nbr in sorted(adj.get(me, ())):
+            self._nbr[nbr] = "sym"
+            self._two_hop[nbr] = set(adj[nbr]) - {me}
+        self.mprs = select_mprs(me, self._nbr, self._two_hop)
+        # Everyone runs the same deterministic heuristic, so each node can
+        # reconstruct who selected whom without exchanging a single message.
+        all_mprs = {n: select_mprs(n, adj[n], {m: adj[m] for m in adj[n]}) for n in adj}
+        self.mpr_selectors = {n for n in adj.get(me, ()) if me in all_mprs[n]}
+        expires = self.sim.now + self._hold_time()
+        for origin in sorted(adj):
+            selectors = frozenset(n for n in adj[origin] if origin in all_mprs[n])
+            if selectors:
+                self._topo[origin] = (1, selectors, expires)
+        self._tc_seq = 1
+        if self.mpr_selectors:
+            self._retract_until = self.sim.now + self._hold_time()
+        self._recompute()
+        self._hello_timer.start()
+        self._tc_timer.start()
+
+    # ------------------------------------------------------------------ events
+
+    def handle_message(self, payload: Any, from_node: int) -> None:
+        if isinstance(payload, OlsrHello):
+            self._handle_hello(payload, from_node)
+        elif isinstance(payload, OlsrTc):
+            self._handle_tc(payload, from_node)
+        else:
+            raise TypeError(f"olsr got unexpected payload {type(payload).__name__}")
+
+    def handle_link_down(self, neighbor: int) -> None:
+        self._nbr.pop(neighbor, None)
+        self._two_hop.pop(neighbor, None)
+        self.mpr_selectors.discard(neighbor)
+        self._refresh_mprs()
+        self._recompute()
+
+    def handle_link_up(self, neighbor: int) -> None:
+        self._nbr[neighbor] = "heard"
+        # Beacon immediately so the new adjacency turns symmetric within one
+        # exchange instead of one full period.
+        self._send_hello()
+
+    # ----------------------------------------------------------- control plane
+
+    def _send_hello(self) -> None:
+        hello = OlsrHello(
+            origin=self.node.id,
+            neighbors=tuple(sorted(self._nbr.items())),
+            mprs=tuple(sorted(self.mprs)),
+        )
+        for nbr in self.node.up_neighbors():
+            self.node.send_control(nbr, hello, hello.size_bytes, protocol=self.name)
+            self._record_message(nbr, 1, size_bytes=hello.size_bytes)
+
+    def _handle_hello(self, hello: OlsrHello, from_node: int) -> None:
+        link = self.node.links.get(from_node)
+        if link is None or not link.up:
+            return
+        listed = dict(hello.neighbors)
+        # They hear us -> the link is symmetric from our side.
+        self._nbr[from_node] = "sym" if self.node.id in listed else "heard"
+        self._two_hop[from_node] = {
+            n for n, status in hello.neighbors if status == "sym" and n != self.node.id
+        }
+        if self.node.id in hello.mprs:
+            self.mpr_selectors.add(from_node)
+        else:
+            self.mpr_selectors.discard(from_node)
+        self._refresh_mprs()
+        self._recompute()
+
+    def _refresh_mprs(self) -> None:
+        sym = [n for n, status in self._nbr.items() if status == "sym"]
+        self.mprs = select_mprs(self.node.id, sym, self._two_hop)
+
+    def _originate_tc(self) -> None:
+        if not self.mpr_selectors and self.sim.now >= self._retract_until:
+            return  # only selected relays (or recently-retired ones) advertise
+        if self.mpr_selectors:
+            self._retract_until = self.sim.now + self._hold_time()
+        self._tc_seq += 1
+        tc = OlsrTc(
+            origin=self.node.id,
+            seq=self._tc_seq,
+            selectors=tuple(sorted(self.mpr_selectors)),
+        )
+        self._topo[self.node.id] = (
+            self._tc_seq,
+            frozenset(self.mpr_selectors),
+            self.sim.now + self._hold_time(),
+        )
+        self._flood_tc(tc, exclude=None)
+
+    def _flood_tc(self, tc: OlsrTc, exclude: Optional[int]) -> None:
+        for nbr in self.node.up_neighbors():
+            if nbr != exclude:
+                self.node.send_control(nbr, tc, tc.size_bytes, protocol=self.name)
+                self._record_message(nbr, 1, size_bytes=tc.size_bytes)
+
+    def _hold_time(self) -> float:
+        """TC validity (RFC 3626 TOP_HOLD_TIME): three advertisement periods."""
+        return 3.0 * self.config.tc_interval
+
+    def _handle_tc(self, tc: OlsrTc, from_node: int) -> None:
+        known = self._topo.get(tc.origin)
+        if known is not None and known[0] >= tc.seq:
+            return  # duplicate or stale: the flood stops here
+        self._topo[tc.origin] = (
+            tc.seq,
+            frozenset(tc.selectors),
+            self.sim.now + self._hold_time(),
+        )
+        # MPR-only forwarding: relay solely on behalf of our selectors.
+        if from_node in self.mpr_selectors:
+            self.tc_forwards += 1
+            self._flood_tc(tc, exclude=from_node)
+        self._recompute()
+
+    # ---------------------------------------------------------------- routing
+
+    def _graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        me = self.node.id
+        now = self.sim.now
+        graph.add_node(me)
+        for nbr, status in self._nbr.items():
+            if status == "sym":
+                graph.add_edge(me, nbr)
+                # RFC 3626 §10: the 2-hop neighborhood from HELLOs is part
+                # of the routing set — TCs only cover the MPR backbone, and
+                # a node that selects no MPRs appears in no TC at all.
+                for two in self._two_hop.get(nbr, ()):
+                    graph.add_edge(nbr, two)
+        for origin in list(self._topo):
+            seq, selectors, expires_at = self._topo[origin]
+            if expires_at < now:
+                del self._topo[origin]
+                continue
+            for s in selectors:
+                graph.add_edge(origin, s)
+        return graph
+
+    def _recompute(self) -> None:
+        paths = shortest_path_tree(self._graph(), self.node.id)
+        new_metrics: dict[int, int] = {}
+        for dest, path in paths.items():
+            if dest == self.node.id:
+                continue
+            # A path through the TC topology may start with an edge we can't
+            # actually use yet (asymmetric or down from our side); only
+            # install routes whose first hop is a live symmetric neighbor.
+            first = path[1]
+            if self._nbr.get(first) != "sym":
+                continue
+            new_metrics[dest] = len(path) - 1
+            self.node.set_next_hop(dest, first)
+        for dest in set(self._metrics) - set(new_metrics):
+            self.node.set_next_hop(dest, None)
+        self._metrics = new_metrics
+
+    # -------------------------------------------------------------- inspection
+
+    def route_metric(self, dest: int) -> Optional[int]:
+        if dest == self.node.id:
+            return 0
+        return self._metrics.get(dest)

@@ -61,6 +61,8 @@ __all__ = [
     "RibConsistencyMonitor",
     "CONVERGENT_PROTOCOLS",
     "LOOP_FREE_PROTOCOLS",
+    "REACTIVE_PROTOCOLS",
+    "SOURCE_ROUTED_PROTOCOLS",
     "settle_margin_for",
 ]
 
@@ -84,8 +86,50 @@ CONVERGENT_PROTOCOLS = frozenset(
         "spf",
         "spf-slow",
         "spf-lfa",
+        # OLSR is proactive and MPR flooding preserves hop-count-optimal
+        # paths on unit-cost graphs, so it is held to the same bar.
+        "olsr",
     }
 )
+
+#: On-demand protocols: converged means "every *active* destination's routes
+#: agree with the oracle", not "every node knows every destination" — a
+#: reactive node with no traffic legitimately has no routes at all.
+REACTIVE_PROTOCOLS = frozenset({"aodv", "dsr"})
+
+#: Protocols that forward on origin-stamped source routes instead of FIBs.
+#: The fib-loop monitor checks their cached paths (``source_route_loops``)
+#: rather than walking (empty) FIB views.
+SOURCE_ROUTED_PROTOCOLS = frozenset({"dsr"})
+
+
+#: Quiet time (s) after which each protocol's silence implies convergence.
+#: Every supported protocol name must appear here explicitly — see
+#: :func:`settle_margin_for`.
+_SETTLE_MARGINS: dict[str, float] = {
+    "rip": 6.0,  # 5 s max triggered-update damping
+    "rip-hd": 95.0,  # 90 s hold-down
+    "dbf": 6.0,  # 5 s max triggered-update damping
+    "dual": 3.0,
+    "bgp": 32.0,  # 30 s MRAI + 1 jitter
+    "bgp-pd": 32.0,
+    "bgp-rfd": 32.0,
+    "bgp-ssld": 32.0,
+    "bgp3": 5.0,  # 3 s MRAI + 0.5 jitter
+    "bgp3-pd": 5.0,
+    "bgp3-rfd": 5.0,
+    "bgp3-ssld": 5.0,
+    "spf": 4.0,  # spf_delay throttle
+    "spf-slow": 4.0,
+    "spf-lfa": 4.0,
+    "static": 3.0,
+    "aodv": 12.0,  # last RREQ retry fires up to 2.8 s * 2^2 after silence
+    "dsr": 12.0,  # same discovery backoff horizon
+    # TOP_HOLD_TIME (3 x 5 s TC interval) is OLSR's silent-churn horizon: a
+    # stale TC entry can age out — and reroute the node — that long after
+    # the last message, plus a HELLO period of slack.
+    "olsr": 18.0,
+}
 
 
 def settle_margin_for(protocol: str) -> float:
@@ -97,18 +141,19 @@ def settle_margin_for(protocol: str) -> float:
     for the whole hold-down period.  The margin is each protocol's maximum
     silent-churn horizon plus slack — only after that much quiet may the
     oracle treat the observed state as final.
+
+    Unknown names raise instead of falling back to a default: a protocol
+    added without a margin entry would otherwise be judged against a quiet
+    window that has nothing to do with its timers, and every monitor
+    downstream would silently misfire or mis-skip.
     """
-    if protocol == "rip-hd":
-        return 95.0  # 90 s hold-down
-    if protocol.startswith("bgp3"):
-        return 5.0  # 3 s MRAI + 0.5 jitter
-    if protocol.startswith("bgp"):
-        return 32.0  # 30 s MRAI + 1 jitter
-    if protocol in ("rip", "dbf"):
-        return 6.0  # 5 s max triggered-update damping
-    if protocol.startswith("spf"):
-        return 4.0  # spf_delay throttle
-    return 3.0
+    try:
+        return _SETTLE_MARGINS[protocol]
+    except KeyError:
+        raise ValueError(
+            f"no settle margin registered for protocol {protocol!r}; add it "
+            f"to _SETTLE_MARGINS (known: {sorted(_SETTLE_MARGINS)})"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -151,6 +196,17 @@ class RunContext:
     #: the RIB diff is meaningful; a still-churning network is skipped.
     #: Scenario wiring sets this from :func:`settle_margin_for`.
     settle_margin: float = 3.0
+    #: Destinations that carry data traffic.  Reactive protocols (AODV/DSR)
+    #: are judged per active destination only: nodes with no traffic toward
+    #: a destination legitimately hold no route to it.
+    active_dests: frozenset[int] = frozenset()
+    #: Strict reactive cost check: on a static single-failure scenario a
+    #: reactive flood discovers a shortest path, so active-destination
+    #: metrics must equal the oracle exactly.  Under churn, link restores
+    #: legitimately leave reactive routes longer than optimal (they never
+    #: re-optimize a working route), so churn wiring relaxes this to
+    #: validity + loop-freedom + metric >= oracle.
+    reactive_strict: bool = True
     #: Shared routing-activity tracker, installed by :class:`MonitorSuite`.
     sentinel: Optional["ConvergenceSentinel"] = None
 
@@ -210,6 +266,10 @@ class ConvergenceSentinel(Monitor):
 
     def _metrics(self) -> dict[int, dict[int, Optional[int]]]:
         nodes = sorted(self._ctx.topology.nodes)
+        if self._ctx.protocol in REACTIVE_PROTOCOLS and self._ctx.active_dests:
+            # Reactive tables churn with every discovery for every flow; the
+            # convergence question is only about destinations with traffic.
+            nodes = sorted(self._ctx.active_dests)
         out: dict[int, dict[int, Optional[int]]] = {}
         for node in self._ctx.network.iter_nodes():
             if node.protocol is None:
@@ -293,11 +353,19 @@ class PacketConservationMonitor(Monitor):
         in_network = sum(
             link.occupancy(data_only=True) for link in ctx.network.iter_links()
         )
-        if outstanding != in_network:
+        # Reactive protocols park originated packets in discovery buffers;
+        # those are alive but not on any link.
+        buffered = sum(
+            node.protocol.pending_data_packets()
+            for node in ctx.network.iter_nodes()
+            if node.protocol is not None
+        )
+        if outstanding != in_network + buffered:
             self._flag(
                 ctx.sim.now,
                 f"{outstanding} packet(s) unaccounted for but {in_network} "
-                f"data packet(s) physically in the network",
+                f"data packet(s) physically in the network and {buffered} "
+                f"buffered awaiting routes",
             )
 
 
@@ -434,11 +502,14 @@ class NoRouteAfterConvergenceMonitor(Monitor):
             # legitimately still be dropping; only judge settled runs.
             self.skipped = "network still churning at end of run"
             return
-        converged_at = (
-            self.last_route_change
-            if self.last_route_change is not None
-            else ctx.detect_time
-        )
+        # Convergence instant: the last FIB change, or — for routing state
+        # the bus never sees (DSR's cache lives outside any FIB) — the
+        # sentinel's last observed activity.
+        candidates = [self.last_route_change]
+        if ctx.sentinel is not None:
+            candidates.append(ctx.sentinel.last_activity)
+        known = [t for t in candidates if t is not None]
+        converged_at = max(known) if known else ctx.detect_time
         for time, node in self.no_route_drops:
             if time > converged_at:
                 self._flag(
@@ -450,10 +521,11 @@ class NoRouteAfterConvergenceMonitor(Monitor):
 
 #: Protocols whose design guarantees loop-free FIB state at every instant:
 #: RIP's split horizon with poison reverse (the paper's Observation 2 — RIP
-#: never produced a single TTL drop) and DUAL's feasibility condition.
-#: Cache-based protocols (DBF, BGP) loop transiently by design and are not
-#: checked.
-LOOP_FREE_PROTOCOLS = frozenset({"rip", "rip-hd", "dual"})
+#: never produced a single TTL drop), DUAL's feasibility condition, AODV's
+#: destination-sequence-number rule, and DSR's acyclic-by-construction
+#: source routes.  Cache-based protocols (DBF, BGP) loop transiently by
+#: design and are not checked.
+LOOP_FREE_PROTOCOLS = frozenset({"rip", "rip-hd", "dual", "aodv", "dsr"})
 
 
 class FibLoopMonitor(Monitor):
@@ -474,14 +546,17 @@ class FibLoopMonitor(Monitor):
 
     name = "fib-loop"
 
-    def __init__(self) -> None:
+    def __init__(self, sample_interval: float = 1.0) -> None:
         super().__init__()
+        self.sample_interval = sample_interval
         #: dest -> {node -> next_hop}
         self._views: dict[int, dict[int, Optional[int]]] = {}
         #: dest -> (formation time, description) for a loop awaiting
         #: confirmation that it outlived its formation instant.
         self._pending: dict[int, tuple[float, str]] = {}
         self.loops_confirmed = 0
+        self._source_routed = False
+        self._seen_paths: set[tuple[int, tuple[int, ...]]] = set()
 
     def attach(self, ctx: RunContext) -> None:
         if ctx.protocol not in LOOP_FREE_PROTOCOLS:
@@ -489,10 +564,40 @@ class FibLoopMonitor(Monitor):
                 f"protocol {ctx.protocol!r} makes no loop-freedom promise"
             )
             return
+        if ctx.protocol in SOURCE_ROUTED_PROTOCOLS:
+            # Source-routed protocols keep FIBs empty; the loop surface is
+            # the per-node path cache, sampled on a virtual-time ticker.
+            self._source_routed = True
+            self._ctx = ctx
+            ctx.sim.schedule(self.sample_interval, self._sample_source_routes)
+            return
         for node in ctx.network.iter_nodes():
             for dest, nh in node.fib.items():
                 self._views.setdefault(dest, {})[node.id] = nh
         ctx.bus.subscribe("route", self._on_route)
+
+    def _sample_source_routes(self) -> None:
+        ctx = self._ctx
+        self._check_source_routes(ctx)
+        if ctx.sim.now + self.sample_interval <= ctx.end_time:
+            ctx.sim.schedule(self.sample_interval, self._sample_source_routes)
+
+    def _check_source_routes(self, ctx: RunContext) -> None:
+        for node in ctx.network.iter_nodes():
+            loops = getattr(node.protocol, "source_route_loops", None)
+            if loops is None:
+                continue
+            for path in loops():
+                key = (node.id, path)
+                if key in self._seen_paths:
+                    continue
+                self._seen_paths.add(key)
+                self.loops_confirmed += 1
+                self._flag(
+                    ctx.sim.now,
+                    f"source route {'->'.join(map(str, path))} cached at "
+                    f"node {node.id} revisits a node",
+                )
 
     def _on_route(self, record: RouteChangeRecord) -> None:
         view = self._views.setdefault(record.dest, {})
@@ -538,6 +643,9 @@ class FibLoopMonitor(Monitor):
         return path  # walk exceeded the view size: necessarily cyclic
 
     def finalize(self, ctx: RunContext) -> None:
+        if self._source_routed:
+            self._check_source_routes(ctx)
+            return
         for dest, (formed_at, detail) in sorted(self._pending.items()):
             if ctx.end_time > formed_at:
                 self.loops_confirmed += 1
@@ -577,6 +685,9 @@ class RibConsistencyMonitor(Monitor):
         self.last_route_change = record.time
 
     def finalize(self, ctx: RunContext) -> None:
+        if ctx.protocol in REACTIVE_PROTOCOLS:
+            self._finalize_reactive(ctx)
+            return
         if ctx.protocol not in CONVERGENT_PROTOCOLS:
             self.skipped = f"protocol {ctx.protocol!r} makes no convergence promise"
             return
@@ -640,6 +751,124 @@ class RibConsistencyMonitor(Monitor):
                         f"every shortest path (dist({nh},{dest})="
                         f"{d_nd} + w={w} != {expected})",
                     )
+
+    def _finalize_reactive(self, ctx: RunContext) -> None:
+        """Reactive convergence: judge only destinations with traffic.
+
+        For each active destination, every node *holding* a route to it must
+        hold a usable one: the forwarding chain (FIB next hops for AODV, the
+        cached source route for DSR) must reach the destination over live
+        links without revisiting a node, and a route to an oracle-unreachable
+        destination is a stale blackhole.  Under ``ctx.reactive_strict``
+        (static single-failure scenarios, where a discovery flood provably
+        finds a shortest path) metrics must also equal the oracle cost
+        exactly; under churn they need only never beat it.  Nodes without a
+        route are never flagged — on-demand protocols owe routes only to
+        traffic they have seen.
+        """
+        if not ctx.active_dests:
+            self.skipped = "no active destinations to judge reactively"
+            return
+        if not _quiesced(ctx, self.last_route_change):
+            self.skipped = (
+                f"network still churning at end of run (last FIB change "
+                f"t={self.last_route_change}, end t={ctx.end_time:.3f})"
+            )
+            return
+        graph = _post_failure_graph(ctx)
+        now = ctx.sim.now
+        for dest in sorted(ctx.active_dests):
+            for node in ctx.network.iter_nodes():
+                if node.protocol is None or node.id == dest:
+                    continue
+                metric = node.protocol.route_metric(dest)
+                if metric is None:
+                    continue
+                self.nodes_checked += 1
+                expected = self._dist_cache(graph, node.id).get(dest)
+                if expected is None:
+                    self._flag(
+                        now,
+                        f"node {node.id}: active dest {dest} unreachable per "
+                        f"oracle but a stale route (metric {metric}) survives",
+                    )
+                    continue
+                if ctx.reactive_strict:
+                    if metric != expected:
+                        self._flag(
+                            now,
+                            f"node {node.id}: active dest {dest} metric "
+                            f"{metric} != oracle cost {expected}",
+                        )
+                elif metric < expected:
+                    self._flag(
+                        now,
+                        f"node {node.id}: active dest {dest} metric {metric} "
+                        f"beats the oracle's shortest cost {expected}",
+                    )
+                self._check_chain(ctx, node, dest, now)
+
+    def _check_chain(self, ctx: RunContext, node, dest: int, now: float) -> None:
+        """Walk the actual forwarding chain from ``node`` toward ``dest``."""
+        path_fn = getattr(node.protocol, "route_path", None)
+        if path_fn is not None:
+            path = path_fn(dest)
+            if path is None:
+                return
+            if len(set(path)) != len(path):
+                self._flag(
+                    now,
+                    f"node {node.id}: source route to {dest} revisits a node "
+                    f"({'->'.join(map(str, path))})",
+                )
+                return
+            if path[-1] != dest:
+                self._flag(
+                    now,
+                    f"node {node.id}: source route to {dest} ends at "
+                    f"{path[-1]}",
+                )
+                return
+            for i in range(len(path) - 1):
+                hop = ctx.network.node(path[i]).links.get(path[i + 1])
+                if hop is None or not hop.up:
+                    self._flag(
+                        now,
+                        f"node {node.id}: source route to {dest} uses dead "
+                        f"link {path[i]}-{path[i + 1]}",
+                    )
+                    return
+            return
+        current = node
+        seen = {node.id}
+        while True:
+            nh = current.next_hop(dest)
+            if nh is None:
+                self._flag(
+                    now,
+                    f"node {node.id}: route to active dest {dest} dead-ends "
+                    f"at node {current.id} (no next hop)",
+                )
+                return
+            link = current.links.get(nh)
+            if link is None or not link.up:
+                self._flag(
+                    now,
+                    f"node {node.id}: route to active dest {dest} crosses "
+                    f"dead link {current.id}-{nh}",
+                )
+                return
+            if nh == dest:
+                return
+            if nh in seen:
+                self._flag(
+                    now,
+                    f"node {node.id}: forwarding chain to active dest {dest} "
+                    f"loops at node {nh}",
+                )
+                return
+            seen.add(nh)
+            current = ctx.network.node(nh)
 
     def _dist_cache(self, graph, src: int) -> dict[int, int]:
         cache = getattr(self, "_dists", None)

@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..experiments.config import ExperimentConfig
-from .monitors import MonitorSuite, RibConsistencyMonitor
+from .monitors import REACTIVE_PROTOCOLS, MonitorSuite, RibConsistencyMonitor
 
-__all__ = ["ProtocolOutcome", "DifferentialReport", "run_differential"]
+__all__ = [
+    "ProtocolOutcome",
+    "DifferentialReport",
+    "run_differential",
+    "run_churn_differential",
+]
 
 #: Default protocol triple: the paper's cache-less / cached distance-vector
 #: pair plus a path-vector variant.
@@ -185,13 +190,87 @@ def run_differential(
             continue
         if oracle is None:
             oracle = _oracle_costs(suite)
+        reactive = protocol in REACTIVE_PROTOCOLS
+        active = suite.context.active_dests
         for node_id, row in sorted(outcome.metrics.items()):
             expected_row = oracle.get(node_id, {})
             for dest, actual in sorted(row.items()):
+                if reactive:
+                    # On-demand convergence: only destinations with traffic
+                    # are owed routes, and only nodes that hold one (the
+                    # discovery flood's path) are judged for cost.
+                    if dest not in active or actual is None:
+                        continue
                 expected = expected_row.get(dest)
                 if actual != expected:
                     report.cost_mismatches.append(
                         f"{protocol}: node {node_id} -> dest {dest}: metric "
                         f"{actual} != oracle cost {expected}"
                     )
+    return report
+
+
+def run_churn_differential(
+    seed: int,
+    config: ExperimentConfig,
+    protocols: tuple[str, ...] = ("aodv", "dsr", "olsr"),
+) -> DifferentialReport:
+    """Differential oracle on a mobility-churn scenario.
+
+    Runs the same seed's movement schedule under each protocol with the full
+    monitor catalog attached.  ``config.churn.settle_time`` must leave a
+    quiet tail longer than every protocol's settle margin — the end-of-run
+    oracle comparison (strict SPF equality for convergent protocols,
+    active-destination validity and never-beats-oracle for reactive ones,
+    enforced by :class:`~repro.validation.monitors.RibConsistencyMonitor`)
+    is meaningless on a still-moving field, and a run that fails to quiesce
+    is reported as skipped, not passed.
+    """
+    from ..experiments.churn import run_churn_scenario
+    from .monitors import settle_margin_for
+
+    if config.churn is None:
+        raise ValueError("run_churn_differential requires config.churn")
+    needed = max(settle_margin_for(p) for p in protocols) + 2.0
+    if config.churn.settle_time < needed:
+        raise ValueError(
+            f"churn settle_time {config.churn.settle_time} too short for "
+            f"{protocols}: need >= {needed} of quiet tail to judge quiescence"
+        )
+    config = config.with_(validate=False)
+    report = DifferentialReport(degree=0, seed=seed, protocols=tuple(protocols))
+
+    for protocol in protocols:
+        suite = MonitorSuite()
+        result = run_churn_scenario(protocol, seed, config, monitors=suite)
+        rib = next(
+            m for m in suite.monitors if isinstance(m, RibConsistencyMonitor)
+        )
+        quiesced = rib.skipped is None
+        assert suite.context is not None
+        outcome = ProtocolOutcome(
+            protocol=protocol,
+            sent=result.sent,
+            delivered=result.delivered,
+            drops_ttl=result.drops_ttl,
+            total_drops=result.total_drops,
+            converged_to_expected=result.converged_to_expected,
+            quiesced=quiesced,
+            metrics=_snapshot_metrics(suite.context.network),
+            monitor_violations=tuple(str(v) for v in suite.violations),
+        )
+        report.outcomes[protocol] = outcome
+        for v in outcome.monitor_violations:
+            report.monitor_violations.append(f"{protocol}: {v}")
+        if result.delivered <= 0:
+            report.envelope_violations.append(f"{protocol}: delivered nothing")
+        if result.delivered + result.total_drops > result.sent:
+            report.envelope_violations.append(
+                f"{protocol}: delivered {result.delivered} + dropped "
+                f"{result.total_drops} > sent {result.sent}"
+            )
+        if not quiesced:
+            report.skipped.append(
+                f"{protocol}: not quiesced ({rib.skipped}) — end state not judged"
+            )
     return report

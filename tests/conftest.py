@@ -6,7 +6,10 @@ import pytest
 
 from repro.net.network import Network
 from repro.net.packet import reset_packet_ids
+from repro.routing.aodv import AodvProtocol
 from repro.routing.bgp import BgpConfig, BgpProtocol
+from repro.routing.dsr import DsrProtocol
+from repro.routing.olsr import OlsrProtocol
 from repro.routing.dbf import DbfProtocol
 from repro.routing.dual import DualProtocol
 from repro.routing.dv_common import DistanceVectorConfig
@@ -77,6 +80,12 @@ def build_network(
                 return SpfProtocol(node, rng_streams)
             if protocol == "static":
                 return StaticProtocol(node, rng_streams, topo)
+            if protocol == "aodv":
+                return AodvProtocol(node, rng_streams)
+            if protocol == "dsr":
+                return DsrProtocol(node, rng_streams)
+            if protocol == "olsr":
+                return OlsrProtocol(node, rng_streams)
             raise ValueError(protocol)
 
         network.attach_protocols(factory)

@@ -1,0 +1,94 @@
+"""Unit tests for the MANET metric triple (PDR / NRL / E2E delay)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.manet import DelayStats, ManetReport, analyze_manet, delay_stats
+from repro.traffic.flows import Delivery
+
+
+def _delivery(delay: float, packet_id: int = 0) -> Delivery:
+    return Delivery(time=1.0 + delay, delay=delay, hops=2, packet_id=packet_id)
+
+
+class TestDelayStats:
+    def test_empty_deliveries(self):
+        stats = delay_stats([])
+        assert stats == DelayStats.empty()
+        assert stats.count == 0
+
+    def test_single_delivery(self):
+        stats = delay_stats([_delivery(0.25)])
+        assert stats.count == 1
+        assert stats.mean == stats.median == stats.p95 == stats.max == 0.25
+
+    def test_order_statistics(self):
+        delays = [0.1, 0.2, 0.3, 0.4, 0.5]
+        stats = delay_stats([_delivery(d, i) for i, d in enumerate(delays)])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(0.3)
+        assert stats.median == pytest.approx(0.3)
+        assert stats.p95 == pytest.approx(0.48)  # linear interpolation
+        assert stats.max == 0.5
+
+    def test_input_order_does_not_matter(self):
+        delays = [0.5, 0.1, 0.3, 0.2, 0.4]
+        shuffled = delay_stats([_delivery(d, i) for i, d in enumerate(delays)])
+        ordered = delay_stats(
+            [_delivery(d, i) for i, d in enumerate(sorted(delays))]
+        )
+        assert shuffled == ordered
+
+
+class TestManetReport:
+    def test_pdr_is_delivered_over_sent(self):
+        report = analyze_manet(10, [_delivery(0.1, i) for i in range(7)], 20)
+        assert report.pdr == 0.7
+        assert report.delivered == 7
+        assert report.sent == 10
+
+    def test_nothing_sent_means_zero_pdr(self):
+        report = analyze_manet(0, [], 0)
+        assert report.pdr == 0.0
+
+    def test_nrl_is_control_per_delivered(self):
+        report = analyze_manet(10, [_delivery(0.1, i) for i in range(5)], 20)
+        assert report.normalized_routing_load == 4.0
+
+    def test_nrl_with_nothing_delivered_is_infinite(self):
+        # Control spent, no payoff: report the signal, don't mask it.
+        report = analyze_manet(10, [], 50)
+        assert math.isinf(report.normalized_routing_load)
+
+    def test_nrl_with_no_control_and_no_delivery_is_zero(self):
+        report = analyze_manet(10, [], 0)
+        assert report.normalized_routing_load == 0.0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            analyze_manet(-1, [], 0)
+        with pytest.raises(ValueError):
+            analyze_manet(0, [], -1)
+
+    def test_summary_is_human_readable(self):
+        report = analyze_manet(10, [_delivery(0.1, i) for i in range(5)], 20)
+        text = report.summary()
+        assert "pdr=0.500" in text
+        assert "nrl=4.00" in text
+        assert "100.0ms" in text
+
+    def test_summary_with_infinite_nrl(self):
+        assert "nrl=inf" in analyze_manet(10, [], 50).summary()
+
+    def test_report_is_frozen(self):
+        report = analyze_manet(1, [_delivery(0.1)], 1)
+        with pytest.raises(AttributeError):
+            report.sent = 5
+
+    def test_control_bytes_ride_along(self):
+        report = analyze_manet(1, [_delivery(0.1)], 3, control_bytes=96)
+        assert report.control_bytes == 96
+        assert isinstance(report, ManetReport)

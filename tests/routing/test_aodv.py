@@ -1,0 +1,168 @@
+"""Unit tests for AODV: discovery, sequence numbers, RERR, expiry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.dynamics import LinkScheduler
+from repro.net.packet import Packet
+from repro.routing.aodv import AodvConfig, AodvProtocol, Rerr
+from repro.sim.tracing import DropCause
+from repro.topology import generators
+
+from ..conftest import build_network
+
+
+def _send_data(net, src: int, dst: int) -> Packet:
+    packet = Packet(src=src, dst=dst, flow_id=1)
+    net.node(src).originate(packet)
+    return packet
+
+
+class TestDiscovery:
+    def test_route_miss_triggers_discovery_and_delivery(self):
+        sim, net, _ = build_network(generators.line(4), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 3)
+        sim.run(until=1.0)
+        # RREQ flooded out, RREP walked back, the buffered packet went through.
+        assert net.total_delivered() == 1
+        assert net.node(0).protocol.route_metric(3) == 3
+        assert net.node(0).next_hop(3) == 1
+
+    def test_reverse_routes_install_along_the_flood(self):
+        sim, net, _ = build_network(generators.line(4), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 3)
+        sim.run(until=1.0)
+        # Every node the RREP passed through knows both endpoints.
+        for mid in (1, 2):
+            proto = net.node(mid).protocol
+            assert proto.route_metric(0) == mid
+            assert proto.route_metric(3) == 3 - mid
+
+    def test_converged_steady_state_is_an_empty_table(self):
+        sim, net, _ = build_network(generators.line(3), "aodv")
+        for node in net.iter_nodes():
+            node.protocol.warm_start(net.topology)
+        sim.run(until=5.0)
+        assert all(not node.protocol.routes for node in net.iter_nodes())
+
+    def test_packets_buffer_during_discovery_then_release_in_order(self):
+        sim, net, _ = build_network(generators.line(3), "aodv")
+        net.start_protocols()
+        first = _send_data(net, 0, 2)
+        second = _send_data(net, 0, 2)
+        proto = net.node(0).protocol
+        assert proto.pending_data_packets() == 2
+        assert proto.discoveries == 1  # second packet rides the same discovery
+        sim.run(until=1.0)
+        assert proto.pending_data_packets() == 0
+        assert net.total_delivered() == 2
+
+    def test_discovery_for_unreachable_dest_fails_after_retries(self):
+        config = AodvConfig(path_discovery_time=0.5, rreq_retries=1)
+        sim, net, rng = build_network(generators.line(3), "none")
+
+        def factory(node):
+            return AodvProtocol(node, rng, config)
+
+        net.attach_protocols(factory)
+        net.start_protocols()
+        injector = LinkScheduler(sim, net, detection_delay=0.01)
+        injector.fail_link(1, 2, at=0.1)
+        sim.run(until=0.5)  # node 2 is now unreachable
+        _send_data(net, 0, 2)
+        sim.run(until=10.0)
+        proto = net.node(0).protocol
+        assert proto.discovery_failures == 1
+        assert proto.pending_data_packets() == 0
+        assert net.total_drops(DropCause.NO_ROUTE) >= 1
+
+
+class TestSequenceNumbers:
+    def test_own_seq_never_decreases_across_discoveries(self):
+        sim, net, _ = build_network(generators.ring(5), "aodv")
+        net.start_protocols()
+        seqs = []
+        for dest in (2, 3, 1):
+            _send_data(net, 0, dest)
+            sim.run(until=sim.now + 1.0)
+            seqs.append(net.node(0).protocol.seq)
+        assert seqs == sorted(seqs)
+
+    def test_destination_reply_is_at_least_as_fresh_as_requested(self):
+        sim, net, _ = build_network(generators.line(3), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 2)
+        sim.run(until=1.0)
+        dest_proto = net.node(2).protocol
+        # The route node 0 installed carries node 2's advertised sequence
+        # number, which can never exceed node 2's own counter.
+        assert net.node(0).protocol.routes[2].seq <= dest_proto.seq
+
+
+class TestLinkFailure:
+    def test_link_down_invalidates_routes_and_bumps_seq(self):
+        sim, net, _ = build_network(generators.line(4), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 3)
+        sim.run(until=1.0)
+        mid = net.node(1).protocol
+        seq_before = mid.routes[3].seq
+        injector = LinkScheduler(sim, net, detection_delay=0.01)
+        injector.fail_link(1, 2, at=2.0)
+        sim.run(until=3.0)
+        assert not mid.routes[3].valid
+        assert mid.routes[3].seq == seq_before + 1
+        assert net.node(1).next_hop(3) is None
+
+    def test_rerr_propagates_to_precursors(self):
+        sim, net, _ = build_network(generators.line(4), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 3)
+        sim.run(until=1.0)
+        assert net.node(0).next_hop(3) == 1
+        injector = LinkScheduler(sim, net, detection_delay=0.01)
+        injector.fail_link(1, 2, at=2.0)
+        sim.run(until=3.0)
+        # Node 1's RERR reached node 0 (its precursor for dest 3).
+        origin = net.node(0).protocol
+        assert 3 in origin.routes and not origin.routes[3].valid
+        assert net.node(0).next_hop(3) is None
+
+    def test_rerr_only_honored_from_current_next_hop(self):
+        sim, net, _ = build_network(generators.line(4), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 3)
+        sim.run(until=1.0)
+        origin = net.node(0).protocol
+        route = origin.routes[3]
+        # A spoofed RERR from a node that is not our next hop is ignored.
+        origin.handle_message(Rerr(unreachable=((3, route.seq + 5),)), from_node=3)
+        assert origin.routes[3].valid
+
+
+class TestExpiry:
+    def test_finite_timeout_expires_idle_routes(self):
+        config = AodvConfig(active_route_timeout=2.0)
+        sim, net, rng = build_network(generators.line(3), "none")
+
+        def factory(node):
+            return AodvProtocol(node, rng, config)
+
+        net.attach_protocols(factory)
+        net.start_protocols()
+        _send_data(net, 0, 2)
+        sim.run(until=1.0)
+        assert net.node(0).protocol.route_metric(2) == 2
+        sim.run(until=10.0)
+        assert net.node(0).protocol.route_metric(2) is None
+        assert net.node(0).next_hop(2) is None
+
+    def test_infinite_timeout_keeps_routes(self):
+        sim, net, _ = build_network(generators.line(3), "aodv")
+        net.start_protocols()
+        _send_data(net, 0, 2)
+        sim.run(until=60.0)
+        assert net.node(0).protocol.route_metric(2) == 2

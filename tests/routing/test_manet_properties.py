@@ -1,0 +1,192 @@
+"""Property tests for the MANET trio's core invariants.
+
+Hypothesis drives randomized event interleavings through real protocol
+instances (attached to a live network) and checks the invariants each
+protocol's correctness argument rests on:
+
+* **AODV** — sequence numbers are monotonic: a node's own seq never
+  decreases, and no accepted route update ever lowers the recorded
+  destination seq.  This is the RFC 3561 loop-freedom argument.
+* **DSR** — the route cache agrees with a brute-force oracle: after any
+  interleaving of path insertions and link poisonings, ``_best_path`` is
+  exactly the (len, path)-minimal surviving cached path, and no surviving
+  path crosses a poisoned link.
+* **OLSR** — the greedy MPR heuristic covers every coverable strict 2-hop
+  neighbor (RFC 3626 coverage criterion), on arbitrary neighborhoods.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.aodv import Rerr, Rrep, Rreq
+from repro.routing.olsr import select_mprs
+from repro.topology import generators
+
+from ..conftest import build_network
+
+# ----------------------------------------------------------------- AODV
+
+
+def _aodv_node():
+    _, net, _ = build_network(generators.ring(5), "aodv")
+    net.start_protocols()
+    return net.node(0).protocol
+
+
+_aodv_events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("rreq"),
+            st.integers(min_value=1, max_value=4),  # from neighbor 1 or 4 coerced below
+            st.integers(min_value=0, max_value=4),  # dst
+            st.integers(min_value=0, max_value=50),  # origin_seq
+            st.integers(min_value=0, max_value=3),  # hop_count
+        ),
+        st.tuples(
+            st.just("rrep"),
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=0, max_value=4),  # dst the reply describes
+            st.integers(min_value=0, max_value=50),  # dest_seq
+            st.integers(min_value=0, max_value=3),
+        ),
+        st.tuples(
+            st.just("rerr"),
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=50),
+            st.just(0),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@given(events=_aodv_events)
+@settings(max_examples=60, deadline=None)
+def test_aodv_sequence_numbers_are_monotonic(events):
+    proto = _aodv_node()
+    neighbors = (1, 4)  # ring(5): node 0's adjacencies
+    own_seq = proto.seq
+    route_seqs: dict[int, int] = {}
+    rreq_id = 1000
+    for kind, frm, dest, seq, hops in events:
+        frm = neighbors[frm % 2]
+        if kind == "rreq":
+            rreq_id += 1
+            proto.handle_message(
+                Rreq(
+                    origin=dest if dest != 0 else 1,
+                    rreq_id=rreq_id,
+                    dst=0,
+                    origin_seq=seq,
+                    dest_seq=0,
+                    hop_count=hops,
+                ),
+                from_node=frm,
+            )
+        elif kind == "rrep":
+            proto.handle_message(
+                Rrep(origin=0, dst=dest, dest_seq=seq, hop_count=hops),
+                from_node=frm,
+            )
+        else:
+            proto.handle_message(
+                Rerr(unreachable=((dest, seq),)), from_node=frm
+            )
+        assert proto.seq >= own_seq, "own sequence number went backwards"
+        own_seq = proto.seq
+        for d, route in proto.routes.items():
+            prior = route_seqs.get(d)
+            assert prior is None or route.seq >= prior, (
+                f"route seq for dest {d} went backwards"
+            )
+            route_seqs[d] = route.seq
+
+
+# ------------------------------------------------------------------ DSR
+
+
+def _dsr_node():
+    _, net, _ = build_network(generators.ring(5), "dsr")
+    net.start_protocols()
+    return net.node(0).protocol
+
+
+def _prefixes(path):
+    return [path[:end] for end in range(2, len(path) + 1)]
+
+
+_dsr_paths = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=6), min_size=1, max_size=5, unique=True
+    ).map(lambda tail: (0, *tail)),
+    max_size=15,
+)
+
+_dsr_purges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6)
+    ),
+    max_size=8,
+)
+
+
+@given(paths=_dsr_paths, purges=_dsr_purges, interleave=st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_dsr_cache_matches_brute_force_oracle(paths, purges, interleave):
+    proto = _dsr_node()
+    neighbors = {1, 4}  # ring(5): node 0's live first hops
+    ops = [("add", p) for p in paths] + [("purge", uv) for uv in purges]
+    interleave.shuffle(ops)
+
+    oracle: set[tuple[int, ...]] = set()
+    for op, arg in ops:
+        if op == "add":
+            proto._cache_path(arg)
+            if len(arg) >= 2 and arg[0] == 0:
+                oracle.update(_prefixes(arg))
+        else:
+            u, v = arg
+            proto._purge_link(u, v)
+            broken = {(u, v), (v, u)}
+            oracle = {
+                p
+                for p in oracle
+                if not any((p[i], p[i + 1]) in broken for i in range(len(p) - 1))
+            }
+
+    dests = {p[-1] for p in oracle} | set(range(7))
+    for dest in dests:
+        # The cache self-purges paths whose first hop is not a live link, so
+        # the oracle view must apply the same reachability filter.
+        candidates = [p for p in oracle if p[-1] == dest and p[1] in neighbors]
+        expected = min(candidates, key=lambda p: (len(p), p), default=None)
+        assert proto._best_path(dest) == expected
+
+
+# ----------------------------------------------------------------- OLSR
+
+_olsr_neighborhood = st.tuples(
+    st.sets(st.integers(min_value=1, max_value=8), max_size=6),
+    st.dictionaries(
+        st.integers(min_value=1, max_value=8),
+        st.sets(st.integers(min_value=0, max_value=15), max_size=6),
+        max_size=8,
+    ),
+)
+
+
+@given(data=_olsr_neighborhood)
+@settings(max_examples=200, deadline=None)
+def test_olsr_mpr_set_covers_every_coverable_two_hop_node(data):
+    neighbors, two_hop = data
+    mprs = select_mprs(0, neighbors, two_hop)
+    assert mprs <= neighbors
+    reach = {
+        n: set(two_hop.get(n, ())) - neighbors - {0, n} for n in neighbors
+    }
+    coverable = set().union(*reach.values()) if reach else set()
+    covered = set().union(*(reach[m] for m in mprs)) if mprs else set()
+    assert coverable <= covered
