@@ -36,6 +36,7 @@ from .experiments import figures as fig
 from .experiments.report import format_series_grid, format_sweep_table
 from .experiments.runner import run_sweep
 from .experiments.scenario import run_scenario
+from .sim.eventq import EVENT_QUEUE_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -49,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper-scale",
         action="store_true",
         help="full 10-seed, degree 3-8 configuration (slow)",
+    )
+    parser.add_argument(
+        "--queue",
+        choices=EVENT_QUEUE_NAMES,
+        default=None,
+        help="event-queue backend (default: $REPRO_EVENT_QUEUE, then heap); "
+        "results are identical under either, only speed differs",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -270,6 +278,8 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["protocols"] = tuple(args.protocols)
     if getattr(args, "rate", None):
         overrides["rate_pps"] = args.rate
+    if getattr(args, "queue", None):
+        overrides["event_queue"] = args.queue
     return config.with_(**overrides) if overrides else config
 
 
@@ -299,6 +309,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 
     config = ExperimentConfig.quick().with_(
         post_fail_window=args.window,
+        event_queue=args.queue,
         churn=ChurnConfig(
             model=args.model,
             n_nodes=args.nodes,
@@ -522,7 +533,7 @@ def _cmd_narrate(args: argparse.Namespace) -> int:
     print(f"flow: host {sender} -> host {receiver}; failing {failed} at t=10\n")
     print(render_mesh(topo, config.rows, config.cols, failed_link=failed))
 
-    sim = Simulator()
+    sim = Simulator(queue=config.event_queue)
     bus = TraceBus(keep_routes=True)
     net = Network(sim, topo, bus)
     net.attach_protocols(

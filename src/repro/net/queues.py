@@ -25,6 +25,11 @@ class DropTailQueue:
         self._items: deque[Packet] = deque()
         self.enqueued = 0
         self.dropped = 0
+        #: Packets removed by :meth:`drain` (link failure) rather than popped
+        #: for transmission.  Every drained packet must be re-accounted by the
+        #: caller as a LINK_DOWN drop — ``enqueued == popped + drained + len``
+        #: is the queue's conservation identity.
+        self.drained = 0
         #: Deepest the queue has ever been (packets); an always-on integer,
         #: harvested by the observability layer (repro.obs) after the run.
         self.depth_hwm = 0
@@ -62,7 +67,14 @@ class DropTailQueue:
         return self._items.popleft()
 
     def drain(self) -> list[Packet]:
-        """Remove and return all queued packets (used on link failure)."""
+        """Remove and return all queued packets (used on link failure).
+
+        Drained packets leave the queue without being transmitted; the caller
+        owns their fate and must account for each one (the link-failure path
+        records them as LINK_DOWN drops — see ``_Channel.flush_on_failure``).
+        ``drained`` counts them so the conservation identity stays checkable.
+        """
         items = list(self._items)
         self._items.clear()
+        self.drained += len(items)
         return items

@@ -1,6 +1,13 @@
 """Discrete-event simulation substrate (engine, timers, RNG, tracing)."""
 
 from .engine import EventHandle, EventStats, SimulationError, Simulator
+from .eventq import (
+    EVENT_QUEUE_NAMES,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+    resolve_queue_name,
+)
 from .rng import RngStreams
 from .timers import JitteredInterval, OneShotTimer, PeriodicTimer
 from .tracing import (
@@ -19,6 +26,11 @@ __all__ = [
     "EventHandle",
     "EventStats",
     "SimulationError",
+    "EVENT_QUEUE_NAMES",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
+    "resolve_queue_name",
     "RngStreams",
     "JitteredInterval",
     "OneShotTimer",

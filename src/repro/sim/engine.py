@@ -1,17 +1,22 @@
 """Discrete-event simulation engine.
 
-A :class:`Simulator` owns virtual time and a binary-heap event queue.  Events
-are callbacks scheduled at absolute or relative times; ties are broken by
+A :class:`Simulator` owns virtual time and an event queue.  Events are
+callbacks scheduled at absolute or relative times; ties are broken by
 insertion order so execution is fully deterministic.  Cancellation is done
 lazily: :meth:`EventHandle.cancel` marks the entry and the main loop skips it.
 
-The queue stores plain ``(time, seq, handle)`` tuples so heap sifting
-compares tuples directly instead of going through dataclass ``__lt__``.
+The queue stores plain ``(time, seq, handle)`` tuples behind a pluggable
+backend (see :mod:`repro.sim.eventq`): the default binary heap, or a
+calendar queue tuned for large periodic-timer populations, selected via
+``Simulator(queue="heap"|"calendar")`` or the ``REPRO_EVENT_QUEUE``
+environment variable.  Both backends pop in the identical ``(time, seq)``
+total order, so results are bit-identical under either.
+
 Hot-path schedulers that would otherwise allocate a closure per event
 (link serialization/propagation) use :meth:`Simulator.schedule_call`, which
 stores the argument on the handle; batch producers use
-:meth:`Simulator.schedule_many`; repeating timers recycle their handle via
-:meth:`Simulator.reschedule`.
+:meth:`Simulator.schedule_many` / :meth:`Simulator.schedule_many_at`;
+repeating timers recycle their handle via :meth:`Simulator.reschedule`.
 
 This is the substrate every other package builds on (links schedule packet
 arrivals, protocols schedule timers, traffic sources schedule departures).
@@ -19,11 +24,13 @@ arrivals, protocols schedule timers, traffic sources schedule departures).
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import time as _wallclock
 from dataclasses import dataclass
+from heapq import heappop
 from typing import Callable, Iterable, Optional
+
+from .eventq import CalendarEventQueue, HeapEventQueue, make_event_queue
 
 __all__ = ["Simulator", "EventHandle", "EventStats", "SimulationError"]
 
@@ -76,6 +83,8 @@ class EventStats:
     pending: int
     wall_time: float
     sim_time: float
+    #: Which event-queue backend produced these numbers ("heap"/"calendar").
+    queue_backend: str = "heap"
 
     @property
     def events_per_sec(self) -> float:
@@ -97,27 +106,31 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.5, lambda: print("hello at t=1.5"))
         sim.run()
+
+    ``queue`` selects the event-queue backend (``"heap"`` or
+    ``"calendar"``); ``None`` defers to ``$REPRO_EVENT_QUEUE`` and then the
+    heap default.  Backend choice never changes results, only speed.
     """
 
     __slots__ = (
         "_now",
         "_queue",
+        "_push",
         "_seq",
         "_events_processed",
         "_cancel_skipped",
-        "_queue_hwm",
         "_wall_time",
         "_running",
         "_stopped",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, queue: Optional[str] = None) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._queue = make_event_queue(queue)
+        self._push = self._queue.push
         self._seq = itertools.count()
         self._events_processed = 0
         self._cancel_skipped = 0
-        self._queue_hwm = 0
         self._wall_time = 0.0
         self._running = False
         self._stopped = False
@@ -126,6 +139,11 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def queue_backend(self) -> str:
+        """Name of the active event-queue backend ("heap" or "calendar")."""
+        return self._queue.name
 
     @property
     def events_processed(self) -> int:
@@ -153,10 +171,11 @@ class Simulator:
         return EventStats(
             events_processed=self._events_processed,
             cancelled_skipped=self._cancel_skipped,
-            queue_depth_hwm=self._queue_hwm,
+            queue_depth_hwm=self._queue.hwm,
             pending=len(self._queue),
             wall_time=self._wall_time,
             sim_time=self._now,
+            queue_backend=self._queue.name,
         )
 
     # ------------------------------------------------------------- scheduling
@@ -169,10 +188,7 @@ class Simulator:
             )
         time = self._now + delay
         handle = EventHandle(time, callback)
-        queue = self._queue
-        heapq.heappush(queue, (time, next(self._seq), handle))
-        if len(queue) > self._queue_hwm:
-            self._queue_hwm = len(queue)
+        self._push((time, next(self._seq), handle))
         return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
@@ -182,10 +198,7 @@ class Simulator:
                 f"time must be finite and >= now, got t={time!r} (now={self._now})"
             )
         handle = EventHandle(time, callback)
-        queue = self._queue
-        heapq.heappush(queue, (time, next(self._seq), handle))
-        if len(queue) > self._queue_hwm:
-            self._queue_hwm = len(queue)
+        self._push((time, next(self._seq), handle))
         return handle
 
     def schedule_call(
@@ -203,10 +216,7 @@ class Simulator:
             )
         time = self._now + delay
         handle = EventHandle(time, callback, args)
-        queue = self._queue
-        heapq.heappush(queue, (time, next(self._seq), handle))
-        if len(queue) > self._queue_hwm:
-            self._queue_hwm = len(queue)
+        self._push((time, next(self._seq), handle))
         return handle
 
     def schedule_call_at(
@@ -224,10 +234,7 @@ class Simulator:
                 f"time must be finite and >= now, got t={time!r} (now={self._now})"
             )
         handle = EventHandle(time, callback, args)
-        queue = self._queue
-        heapq.heappush(queue, (time, next(self._seq), handle))
-        if len(queue) > self._queue_hwm:
-            self._queue_hwm = len(queue)
+        self._push((time, next(self._seq), handle))
         return handle
 
     def schedule_many(
@@ -240,8 +247,7 @@ class Simulator:
         in input order.
         """
         now = self._now
-        queue = self._queue
-        push = heapq.heappush
+        push = self._push
         seq = self._seq
         handles: list[EventHandle] = []
         for delay, callback in events:
@@ -251,10 +257,33 @@ class Simulator:
                 )
             time = now + delay
             handle = EventHandle(time, callback)
-            push(queue, (time, next(seq), handle))
+            push((time, next(seq), handle))
             handles.append(handle)
-        if len(queue) > self._queue_hwm:
-            self._queue_hwm = len(queue)
+        return handles
+
+    def schedule_many_at(
+        self, events: Iterable[tuple[float, Callable[[], None]]]
+    ) -> list[EventHandle]:
+        """Schedule a batch of ``(time, callback)`` pairs at absolute times.
+
+        The absolute-time sibling of :meth:`schedule_many` — times are exact
+        (no ``now + delay`` float round trip), insertion order within the
+        batch is preserved for same-time ties.  This is how array-generated
+        producers (the CBR source's whole emission schedule) enter the queue
+        without a per-event Python round trip through ``schedule``.
+        """
+        now = self._now
+        push = self._push
+        seq = self._seq
+        handles: list[EventHandle] = []
+        for time, callback in events:
+            if not now <= time < _INF:
+                raise SimulationError(
+                    f"time must be finite and >= now, got t={time!r} (now={now})"
+                )
+            handle = EventHandle(time, callback)
+            push((time, next(seq), handle))
+            handles.append(handle)
         return handles
 
     def reschedule(self, handle: EventHandle, delay: float) -> EventHandle:
@@ -262,10 +291,17 @@ class Simulator:
 
         Recycles the handle object instead of allocating a new one — the fast
         path for repeating timers.  Only a handle whose queue entry has been
-        consumed (i.e. it fired) may be recycled; a pending or
-        lazily-cancelled handle still has a live queue entry, and re-arming it
-        would resurrect that entry.
+        consumed (i.e. it fired) may be recycled: a pending handle still has
+        a live queue entry, and re-arming it would resurrect that entry.
+        Cancellation is sticky — a handle cancelled at any point (even after
+        it fired) stays dead, so "fire, cancel inside the action, re-arm"
+        raises instead of producing a ghost event.
         """
+        if handle._cancelled:
+            raise SimulationError(
+                "reschedule() of a cancelled handle (cancellation is sticky; "
+                "schedule a fresh event instead)"
+            )
         if not handle._fired:
             raise SimulationError(
                 "reschedule() requires a handle that has already fired"
@@ -277,11 +313,7 @@ class Simulator:
         time = self._now + delay
         handle.time = time
         handle._fired = False
-        handle._cancelled = False
-        queue = self._queue
-        heapq.heappush(queue, (time, next(self._seq), handle))
-        if len(queue) > self._queue_hwm:
-            self._queue_hwm = len(queue)
+        self._push((time, next(self._seq), handle))
         return handle
 
     # -------------------------------------------------------------- execution
@@ -293,19 +325,29 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is drained."""
         queue = self._queue
-        while queue and queue[0][2]._cancelled:
-            heapq.heappop(queue)
-            self._cancel_skipped += 1
-        return queue[0][0] if queue else None
+        while True:
+            entry = queue.peek()
+            if entry is None:
+                return None
+            if entry[2]._cancelled:
+                queue.pop()
+                self._cancel_skipped += 1
+                continue
+            return entry[0]
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events in order until the queue drains, ``until`` is reached,
         or ``max_events`` have executed.
 
-        Returns the number of events executed by this call.  When ``until`` is
-        given, virtual time is advanced to exactly ``until`` on return even if
-        the queue drained earlier, so repeated ``run(until=...)`` calls form a
-        contiguous timeline.
+        Returns the number of events executed by this call.  When ``until``
+        is given, virtual time is advanced to exactly ``until`` on return —
+        but only when no event at or before ``until`` is left pending (the
+        queue drained, or the next event lies beyond ``until``), so repeated
+        ``run(until=...)`` calls form a contiguous timeline.  A loop broken
+        early by ``max_events`` or :meth:`stop` keeps ``now`` at the last
+        executed event: fast-forwarding past still-pending events would let
+        ``peek_time()`` report the past and new ``schedule()`` calls land
+        after earlier events.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
@@ -313,32 +355,100 @@ class Simulator:
         self._stopped = False
         executed = 0
         queue = self._queue
-        pop = heapq.heappop
         started = _wallclock.perf_counter()
         try:
-            while queue and not self._stopped:
-                time, _, handle = queue[0]
-                if handle._cancelled:
-                    pop(queue)
-                    self._cancel_skipped += 1
-                    continue
-                if until is not None and time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                pop(queue)
-                self._now = time
-                handle._fired = True
-                args = handle.args
-                if args:
-                    handle.callback(*args)
-                else:
-                    handle.callback()
-                executed += 1
-                self._events_processed += 1
+            if type(queue) is HeapEventQueue:
+                # Inlined heap loop: peek is a plain index and pop the raw
+                # C heappop, saving two method calls per event on the
+                # default backend's hot path.
+                heap = queue._q
+                pop = heappop
+                while heap and not self._stopped:
+                    time, _, handle = heap[0]
+                    if handle._cancelled:
+                        pop(heap)
+                        self._cancel_skipped += 1
+                        continue
+                    if until is not None and time > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    pop(heap)
+                    self._now = time
+                    handle._fired = True
+                    args = handle.args
+                    if args:
+                        handle.callback(*args)
+                    else:
+                        handle.callback()
+                    executed += 1
+                    self._events_processed += 1
+            elif type(queue) is CalendarEventQueue:
+                # Inlined calendar loop: steady-state consumption is an
+                # index bump into the current sorted run; peek() is only
+                # paid when the run is exhausted and the scan must load
+                # the next bucket-year (CalendarEventQueue.pop keeps its
+                # shrink check in peek() precisely so this stays exact).
+                while not self._stopped:
+                    ci = queue._ci
+                    cur = queue._cur
+                    if ci >= len(cur):
+                        if queue.peek() is None:
+                            break
+                        ci = queue._ci
+                        cur = queue._cur
+                    time, _, handle = cur[ci]
+                    if handle._cancelled:
+                        queue._ci = ci + 1
+                        queue._n -= 1
+                        self._cancel_skipped += 1
+                        continue
+                    if until is not None and time > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    queue._ci = ci + 1
+                    queue._n -= 1
+                    self._now = time
+                    handle._fired = True
+                    args = handle.args
+                    if args:
+                        handle.callback(*args)
+                    else:
+                        handle.callback()
+                    executed += 1
+                    self._events_processed += 1
+            else:  # pragma: no cover - no third backend ships today
+                peek = queue.peek
+                pop = queue.pop
+                while not self._stopped:
+                    entry = peek()
+                    if entry is None:
+                        break
+                    time, _, handle = entry
+                    if handle._cancelled:
+                        pop()
+                        self._cancel_skipped += 1
+                        continue
+                    if until is not None and time > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    pop()
+                    self._now = time
+                    handle._fired = True
+                    args = handle.args
+                    if args:
+                        handle.callback(*args)
+                    else:
+                        handle.callback()
+                    executed += 1
+                    self._events_processed += 1
         finally:
             self._wall_time += _wallclock.perf_counter() - started
             self._running = False
         if until is not None and self._now < until and not self._stopped:
-            self._now = until
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self._now = until
         return executed

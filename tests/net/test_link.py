@@ -111,6 +111,25 @@ class TestFailure:
         assert len(h.dropped) == 3
         assert all(c is DropCause.LINK_DOWN for *_, c in h.dropped)
 
+    def test_drained_packets_are_accounted_as_link_down(self, sim):
+        # Pins the drain() audit: every packet flush_on_failure() pulls out
+        # of the output queue must surface as a LINK_DOWN drop, so the
+        # packet-conservation monitor sees no silent loss.
+        h = Harness(sim)
+        for _ in range(5):
+            h.link.transmit(1, _pkt())
+        sim.schedule(0.001, h.link.fail)  # first packet still serializing
+        sim.run()
+        channel = h.link._channels[1]
+        assert channel.queue.drained == 4  # 1 in flight + 4 queued
+        link_down = [p for _, p, _, c in h.dropped if c is DropCause.LINK_DOWN]
+        # in-flight packet + every drained packet, nothing double-counted
+        assert len(link_down) == 5
+        assert len(set(id(p) for p in link_down)) == 5
+        assert channel.queue.enqueued == channel.queue.drained + len(
+            channel.queue
+        ) + 1  # the serializing packet was popped for transmission
+
     def test_fail_is_idempotent(self, sim):
         h = Harness(sim)
         h.link.fail()

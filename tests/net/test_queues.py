@@ -40,6 +40,31 @@ class TestDropTailQueue:
         assert q.drain() == packets
         assert q.empty
 
+    def test_drain_counts_drained_packets(self):
+        q = DropTailQueue(capacity=5)
+        for _ in range(4):
+            q.push(_pkt())
+        assert q.drained == 0
+        q.drain()
+        assert q.drained == 4
+        # Draining an empty queue is a no-op for the counter.
+        q.drain()
+        assert q.drained == 4
+        # dropped stays overflow-only: drained packets are not overflow.
+        assert q.dropped == 0
+
+    def test_conservation_identity(self):
+        # enqueued == popped + drained + still-queued, whatever the history.
+        q = DropTailQueue(capacity=3)
+        q.push(_pkt())
+        q.push(_pkt())
+        popped = 1 if q.pop() else 0
+        q.push(_pkt())
+        q.push(_pkt())  # overflow: rejected, not enqueued
+        q.drain()
+        q.push(_pkt())
+        assert q.enqueued == popped + q.drained + len(q)
+
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             DropTailQueue(capacity=0)

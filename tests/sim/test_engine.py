@@ -115,6 +115,35 @@ class TestRunControl:
         sim.run(max_events=4)
         assert fired == [0, 1, 2, 3]
 
+    def test_max_events_break_does_not_skip_past_pending(self, sim):
+        # Regression: run(until=T, max_events=N) used to fast-forward now to
+        # T even when the cap left events pending before T, so peek_time()
+        # reported the past and new schedule() calls landed after them.
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(until=100.0, max_events=4)
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+        assert sim.peek_time() == 5.0
+        # A fresh relative event must land *after* the still-pending ones.
+        sim.schedule(0.5, lambda: fired.append("new"))
+        sim.run(until=100.0)
+        assert fired == [0, 1, 2, 3, "new", 4, 5, 6, 7, 8, 9]
+        assert sim.now == 100.0
+
+    def test_stop_break_does_not_fast_forward(self, sim):
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 1.0
+        assert sim.peek_time() == 2.0
+
+    def test_until_with_max_events_advances_when_drained(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0, max_events=5)
+        assert sim.now == 10.0
+
     def test_stop_halts_loop(self, sim):
         fired = []
 
@@ -150,6 +179,103 @@ class TestRunControl:
 
     def test_peek_time_empty(self, sim):
         assert sim.peek_time() is None
+
+
+class TestReschedule:
+    def test_reschedule_recycles_fired_handle(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        sim.reschedule(handle, 2.0)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+    def test_reschedule_pending_handle_rejected(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.reschedule(handle, 1.0)
+
+    def test_cancel_after_fire_is_sticky(self, sim):
+        # Regression: reschedule() used to reset _cancelled, resurrecting a
+        # handle a protocol had cancelled inside (or after) its own action.
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        with pytest.raises(SimulationError):
+            sim.reschedule(handle, 1.0)
+        assert sim.pending_events == 0
+
+    def test_cancel_inside_action_kills_the_cycle(self, sim):
+        fired = []
+        holder = {}
+
+        def action():
+            fired.append(sim.now)
+            holder["handle"].cancel()
+
+        holder["handle"] = sim.schedule(1.0, action)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.reschedule(holder["handle"], 1.0)
+        assert fired == [1.0]
+
+
+class TestBatchScheduling:
+    def test_schedule_many_preserves_tie_order(self, sim):
+        fired = []
+        sim.schedule_many(
+            [(1.0, lambda l=l: fired.append(l)) for l in "abc"]
+        )
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_many_at_absolute_times_are_exact(self, sim):
+        seen = []
+        handles = sim.schedule_many_at(
+            [(t, lambda t=t: seen.append(sim.now)) for t in (0.3, 0.1, 0.2)]
+        )
+        sim.run()
+        assert seen == [0.1, 0.2, 0.3]
+        assert [h.time for h in handles] == [0.3, 0.1, 0.2]
+
+    def test_schedule_many_at_rejects_past(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_many_at([(1.0, lambda: None)])
+
+
+class TestBackendSelection:
+    def test_default_backend_is_heap(self, sim):
+        assert sim.queue_backend == "heap"
+        assert sim.stats().queue_backend == "heap"
+
+    def test_calendar_backend_selected_by_name(self):
+        sim = Simulator(queue="calendar")
+        assert sim.queue_backend == "calendar"
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(queue="fibonacci")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_QUEUE", "calendar")
+        assert Simulator().queue_backend == "calendar"
+        # An explicit argument wins over the environment.
+        assert Simulator(queue="heap").queue_backend == "heap"
+
+    def test_stats_queue_hwm_from_backend(self):
+        for name in ("heap", "calendar"):
+            sim = Simulator(queue=name)
+            for i in range(5):
+                sim.schedule(float(i), lambda: None)
+            assert sim.stats().queue_depth_hwm == 5
+            sim.run()
+            assert sim.stats().pending == 0
 
 
 class TestPropertyBased:
