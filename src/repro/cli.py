@@ -3,6 +3,7 @@
 Exposes the experiment harness without writing Python::
 
     python -m repro run --protocol dbf --degree 4 --seed 1
+    python -m repro shard --protocol bgp3 --shards 3 --check  # sharded run
     python -m repro churn --protocol dbf --model waypoint --validate
     python -m repro figure 3                  # reproduce Figure 3's table
     python -m repro figure 5 --degrees 3 4 6  # throughput series
@@ -28,6 +29,7 @@ from typing import Optional, Sequence
 
 from .experiments.config import (
     MOBILITY_MODELS,
+    PARTITION_STRATEGIES,
     PROTOCOL_NAMES,
     ChurnConfig,
     ExperimentConfig,
@@ -97,6 +99,38 @@ def build_parser() -> argparse.ArgumentParser:
     churn_p.add_argument(
         "--dump-dir", metavar="DIR",
         help="write a post-mortem flight dump here if any monitor fires",
+    )
+
+    shard_p = sub.add_parser(
+        "shard",
+        help="run one scenario sharded across worker simulators "
+             "(byte-identical to a single-process run)",
+    )
+    shard_p.add_argument("--protocol", choices=PROTOCOL_NAMES, default="dbf")
+    shard_p.add_argument("--degree", type=int, default=4)
+    shard_p.add_argument("--seed", type=int, default=7)
+    shard_p.add_argument("--shards", type=int, default=2)
+    shard_p.add_argument(
+        "--partition", choices=PARTITION_STRATEGIES, default="mincut",
+        help="topology partitioning strategy",
+    )
+    shard_p.add_argument(
+        "--process", action="store_true",
+        help="one forked worker process per shard (default: in-process)",
+    )
+    shard_p.add_argument(
+        "--check", action="store_true",
+        help="also run single-process and verify byte-identity of metrics "
+             "and trace streams; mismatches exit non-zero",
+    )
+    shard_p.add_argument(
+        "--validate", action="store_true",
+        help="re-check the offline invariants (packet conservation, FIB "
+             "loops); violations exit non-zero",
+    )
+    shard_p.add_argument(
+        "--window", type=float, default=30.0,
+        help="seconds observed after the failure (default 30)",
     )
 
     fig_p = sub.add_parser("figure", help="reproduce one paper figure")
@@ -358,6 +392,79 @@ def _cmd_churn(args: argparse.Namespace) -> int:
                 print(f"post-mortem dump: {r.dump_path}")
             return 1
         print("monitors: all green")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from .dist.merge import diff_results, run_single_with_traces
+    from .dist.runner import run_scenario_sharded
+
+    config = _config(args).with_(
+        runs=1,
+        post_fail_window=args.window,
+        record_paths=True,
+        shards=args.shards,
+        partition=args.partition,
+    )
+    exchange = "process" if args.process else "local"
+    print(
+        f"protocol={args.protocol} degree={args.degree} seed={args.seed} "
+        f"shards={args.shards} partition={args.partition} exchange={exchange}"
+    )
+
+    if args.check:
+        from .dist.merge import run_sharded_with_traces
+
+        sharded, d_traces = run_sharded_with_traces(
+            args.protocol,
+            args.degree,
+            args.seed,
+            config,
+            exchange=exchange,
+            validate=args.validate,
+        )
+        single, s_traces = run_single_with_traces(
+            args.protocol, args.degree, args.seed, config
+        )
+        problems = diff_results(single, s_traces, sharded, d_traces)
+        streams = ", ".join(
+            f"{len(d_traces[k])} {k}" for k in ("packet", "route", "link", "message")
+        )
+        print(f"trace streams: {streams}")
+        if problems:
+            print(f"BYTE-IDENTITY FAILED ({len(problems)} mismatch(es)):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("byte-identity check: sharded == single-process")
+        r = sharded
+    else:
+        r = run_scenario_sharded(
+            args.protocol,
+            args.degree,
+            args.seed,
+            config,
+            exchange=exchange,
+            validate=args.validate,
+        )
+    print(
+        f"sent={r.sent} delivered={r.delivered} ({r.delivery_ratio:.1%}) "
+        f"no_route={r.drops_no_route} ttl={r.drops_ttl} "
+        f"link_down={r.drops_link_down} queue={r.drops_queue}"
+    )
+    print(
+        f"forwarding convergence={r.forwarding_convergence:.3f}s "
+        f"routing convergence={r.routing_convergence:.3f}s "
+        f"messages={r.messages}"
+    )
+    if args.validate:
+        if r.violations:
+            print(f"INVARIANT VIOLATIONS ({len(r.violations)}):")
+            for v in r.violations:
+                print(f"  {v}")
+            return 1
+        skipped = len(r.monitor_skips or {})
+        print(f"offline invariants: all green ({skipped} monitor(s) skipped)")
     return 0
 
 
@@ -847,6 +954,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "churn": _cmd_churn,
+        "shard": _cmd_shard,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "topology": _cmd_topology,

@@ -1,0 +1,428 @@
+"""Sharded scenario coordinator: conservative time-window barriers.
+
+The coordinator advances all shards in lockstep windows.  Each round it
+asks every shard for its next event time and computes the safe horizon
+
+    H = E_min + W
+
+where ``E_min`` is the earliest pending event anywhere and ``W`` the
+partition lookahead (minimum propagation delay over cut links).
+Conservative safety: any packet departing in the window departs at
+``>= E_min``, so it arrives at ``>= E_min + W = H`` — *possibly exactly*
+at ``H``, which is why the horizon is exclusive: every shard runs events
+strictly below ``H`` (capped inclusively at ``end_at``), then the captured
+cross-shard relays — all arriving at ``>= H``, i.e. in future windows —
+are injected before the clock moves on.  Same-instant ordering at the
+arrival node is then the worker's delivery sequencer's job (see
+docs/distributed.md).
+
+Two exchanges drive the same :class:`~repro.dist.worker.ShardHost` logic:
+
+* :class:`LocalExchange` — all shards in-process.  The default: sweep
+  workers are daemonic and cannot fork grandchildren, and it makes the
+  byte-identity differential tests cheap.
+* :class:`ProcessExchange` — one forked worker process per shard, relays
+  over pipes.  A shard that stalls (hang, crash) is detected by a pipe
+  timeout, all workers are torn down, and :class:`ShardStallError` reports
+  the stalled window's virtual time — the barrier never deadlocks the
+  surviving shards.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+from ..experiments.config import ExperimentConfig
+from ..net.dynamics import LinkEvent, SingleLinkFailureDriver
+from ..net.packet import reset_packet_ids
+from ..sim.rng import RngStreams
+from ..topology.generators import attach_host
+from ..topology.graph import Topology
+from ..topology.mesh import regular_mesh
+from .partition import Partition, partition_topology
+from .proxy import Relay
+from .worker import ShardHost, ShardOutput, ShardPlan, maybe_fault
+
+__all__ = [
+    "ShardScenarioSpec",
+    "ShardStallError",
+    "LocalExchange",
+    "ProcessExchange",
+    "run_sharded",
+    "run_scenario_sharded",
+]
+
+
+class ShardStallError(RuntimeError):
+    """A worker shard hung or died; the run was torn down, not deadlocked."""
+
+    def __init__(self, shard_index: int, window_time: float, reason: str) -> None:
+        self.shard_index = shard_index
+        self.window_time = window_time
+        super().__init__(
+            f"shard {shard_index} stalled at window t={window_time:.3f}: {reason}"
+        )
+
+
+@dataclass(frozen=True)
+class ShardScenarioSpec:
+    """A fully laid-out scenario ready to shard (topology and flow fixed).
+
+    ``run_scenario_sharded`` builds one that replicates ``run_scenario``'s
+    mesh layout; scale tests build their own over generated topologies.
+    """
+
+    protocol: str
+    degree: int
+    seed: int
+    config: ExperimentConfig
+    topology: Topology
+    sender: int
+    receiver: int
+    pre_path: tuple[int, ...]
+    expected_final: Optional[tuple[int, ...]]
+    events: tuple[LinkEvent, ...]
+    #: Restrict warm start to these destinations (BGP family only) so
+    #: 10k-node topologies skip the all-pairs warm start.
+    warm_dests: Optional[tuple[int, ...]] = None
+
+
+# --------------------------------------------------------------------------
+# exchanges
+
+
+class LocalExchange:
+    """All shards in this process; the pipe protocol without the pipes."""
+
+    def __init__(self, plans: list[ShardPlan]) -> None:
+        self.hosts = [ShardHost(plan) for plan in plans]
+
+    def peek_times(self) -> list[Optional[float]]:
+        return [host.peek_time() for host in self.hosts]
+
+    def run_until(self, barrier: float) -> list[Relay]:
+        relays: list[Relay] = []
+        for host in self.hosts:
+            relays.extend(host.run_until(barrier))
+        return relays
+
+    def inject(self, per_shard: dict[int, list[Relay]]) -> None:
+        for shard in sorted(per_shard):
+            self.hosts[shard].inject(per_shard[shard])
+
+    def finalize(self) -> list[ShardOutput]:
+        return [host.finalize() for host in self.hosts]
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(plan: ShardPlan, conn) -> None:
+    """Process-worker command loop (one end of a duplex pipe)."""
+    try:
+        # Fork inherits the parent's packet-id counters mid-count; shard
+        # construction must start from the same state a fresh run would.
+        reset_packet_ids()
+        host = ShardHost(plan)
+        conn.send(("ok", None))
+    except Exception:
+        conn.send(("err", traceback.format_exc()))
+        return
+    while True:
+        command = conn.recv()
+        op = command[0]
+        try:
+            if op == "peek":
+                conn.send(("ok", host.peek_time()))
+            elif op == "run":
+                maybe_fault(plan.shard_index, command[1])
+                conn.send(("ok", host.run_until(command[1])))
+            elif op == "inject":
+                host.inject(command[1])
+                conn.send(("ok", None))
+            elif op == "finalize":
+                conn.send(("ok", host.finalize()))
+            elif op == "close":
+                conn.close()
+                return
+            else:
+                conn.send(("err", f"unknown command {op!r}"))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+
+
+class ProcessExchange:
+    """One forked worker process per shard, commands and relays over pipes."""
+
+    def __init__(self, plans: list[ShardPlan], timeout: float = 60.0) -> None:
+        self._timeout = timeout
+        ctx = multiprocessing.get_context("fork")
+        self._procs = []
+        self._conns = []
+        for plan in plans:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(plan, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        for index in range(len(plans)):
+            self._recv(index, window=0.0)
+
+    def _recv(self, index: int, window: float):
+        conn = self._conns[index]
+        if not conn.poll(self._timeout):
+            self._teardown()
+            raise ShardStallError(
+                index, window, f"no response within {self._timeout:.0f}s"
+            )
+        try:
+            status, value = conn.recv()
+        except EOFError:
+            self._teardown()
+            raise ShardStallError(index, window, "worker process died") from None
+        if status != "ok":
+            self._teardown()
+            raise RuntimeError(f"shard {index} worker failed:\n{value}")
+        return value
+
+    def _broadcast(self, command: tuple, window: float) -> list:
+        for conn in self._conns:
+            conn.send(command)
+        return [self._recv(index, window) for index in range(len(self._conns))]
+
+    def peek_times(self) -> list[Optional[float]]:
+        return self._broadcast(("peek",), window=0.0)
+
+    def run_until(self, barrier: float) -> list[Relay]:
+        relays: list[Relay] = []
+        for batch in self._broadcast(("run", barrier), window=barrier):
+            relays.extend(batch)
+        return relays
+
+    def inject(self, per_shard: dict[int, list[Relay]]) -> None:
+        for shard in sorted(per_shard):
+            self._conns[shard].send(("inject", per_shard[shard]))
+        for shard in sorted(per_shard):
+            self._recv(shard, window=0.0)
+
+    def finalize(self) -> list[ShardOutput]:
+        return self._broadcast(("finalize",), window=0.0)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.close()
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+
+    def _teardown(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+
+# --------------------------------------------------------------------------
+# coordinator
+
+
+def _relay_sort_key(relay: Relay) -> tuple:
+    return (relay.arrive_at, relay.link, relay.src, relay.seq)
+
+
+def run_sharded(
+    spec: ShardScenarioSpec,
+    exchange: str = "local",
+    barrier_timeout: float = 60.0,
+    collect_traces: bool = False,
+    validate: Optional[bool] = None,
+):
+    """Run ``spec`` partitioned across ``spec.config.shards`` shards.
+
+    Returns the same :class:`~repro.experiments.scenario.ScenarioResult` a
+    single-process ``run_scenario`` would — byte-identical on any topology
+    small enough to run both (the differential suite pins this).  When
+    ``collect_traces`` is set the per-shard trace streams are attached to
+    the result as ``result.traces`` (see :func:`~repro.dist.merge.
+    canonical_trace_streams`).
+    """
+    from .merge import merge_results  # merge imports metrics; keep cycle-free
+
+    config = spec.config
+    if config.cold_start:
+        raise ValueError("sharded execution requires warm start (cold_start)")
+    if config.churn is not None:
+        raise ValueError("sharded execution does not support churn configs")
+    end_at = config.end_time
+    fail_at = config.fail_time
+    scheduled = [e for e in spec.events if e.time < end_at]
+    detect_times = [
+        e.time
+        + (
+            e.detection_delay
+            if e.detection_delay is not None
+            else config.detection_delay
+        )
+        for e in scheduled
+    ]
+    first_at = scheduled[0].time if scheduled else fail_at
+    first_detect = (
+        detect_times[0] if detect_times else fail_at + config.detection_delay
+    )
+
+    partition = partition_topology(
+        spec.topology, config.shards, strategy=config.partition
+    )
+    if partition.cut_links and partition.lookahead <= 0.0:
+        raise ValueError(
+            "cannot shard: a cut link has zero propagation delay, so the "
+            "conservative lookahead window is empty"
+        )
+    reset_packet_ids()
+    plans = [
+        ShardPlan(
+            shard_index=index,
+            n_shards=config.shards,
+            protocol=spec.protocol,
+            seed=spec.seed,
+            config=config,
+            topology=spec.topology,
+            assignment=partition.assignment,
+            cut_links=partition.cut_links,
+            sender=spec.sender,
+            receiver=spec.receiver,
+            events=tuple(scheduled),
+            traffic_start=config.traffic_start,
+            window_start=fail_at,
+            end_at=end_at,
+            warm_dests=spec.warm_dests,
+            collect_traces=collect_traces,
+        )
+        for index in range(config.shards)
+    ]
+    if exchange == "process":
+        xchg = ProcessExchange(plans, timeout=barrier_timeout)
+    elif exchange == "local":
+        xchg = LocalExchange(plans)
+    else:
+        raise ValueError(f"unknown exchange {exchange!r} (local | process)")
+
+    try:
+        lookahead = partition.lookahead
+        while True:
+            peeks = [t for t in xchg.peek_times() if t is not None]
+            e_min = min(peeks, default=None)
+            if e_min is None or e_min > end_at:
+                barrier = end_at
+            else:
+                # The horizon is EXCLUSIVE: an event at e_min can cause a
+                # cross-cut arrival at exactly e_min + lookahead, so shards
+                # may only execute events strictly below it — otherwise a
+                # shard processes its own events at the horizon before the
+                # coinciding relay is injected, inverting same-instant
+                # order.  nextafter gives the largest representable time
+                # below the horizon (run() is inclusive).
+                horizon = e_min + lookahead
+                barrier = (
+                    end_at
+                    if horizon > end_at
+                    else math.nextafter(horizon, -math.inf)
+                )
+            relays = xchg.run_until(barrier)
+            while relays:
+                relays.sort(key=_relay_sort_key)
+                per_shard: dict[int, list[Relay]] = {}
+                for relay in relays:
+                    shard = partition.shard_of(relay.dst)
+                    per_shard.setdefault(shard, []).append(relay)
+                xchg.inject(per_shard)
+                if any(r.arrive_at <= barrier for r in relays):
+                    # Mop-up: something landed inside the closed window.
+                    # With the exclusive horizon every relay arrives at
+                    # >= e_min + lookahead > barrier, so this is a safety
+                    # net, not an expected path.
+                    relays = xchg.run_until(barrier)
+                else:
+                    break
+            if barrier >= end_at:
+                break
+        outputs = xchg.finalize()
+    finally:
+        xchg.close()
+
+    return merge_results(
+        spec=spec,
+        partition=partition,
+        outputs=outputs,
+        scheduled=scheduled,
+        detect_times=detect_times,
+        first_at=first_at,
+        first_detect=first_detect,
+        validate=config.validate if validate is None else validate,
+        collect_traces=collect_traces,
+    )
+
+
+def run_scenario_sharded(
+    protocol: str,
+    degree: int,
+    seed: int,
+    config: ExperimentConfig,
+    exchange: str = "local",
+    barrier_timeout: float = 60.0,
+    collect_traces: bool = False,
+    validate: Optional[bool] = None,
+):
+    """Sharded twin of ``run_scenario``: identical mesh layout and schedule."""
+    rng_streams = RngStreams(seed)
+    scenario_rng = rng_streams.stream("scenario")
+    # Layout replicates run_scenario exactly; both must draw the same
+    # topology, endpoints, and failed link from the scenario stream.
+    from ..experiments.scenario import _pick_endpoints, _pick_failed_link
+
+    topo = regular_mesh(config.rows, config.cols, degree)
+    sender_router, receiver_router = _pick_endpoints(
+        scenario_rng, config.rows, config.cols
+    )
+    sender = attach_host(topo, sender_router)
+    receiver = attach_host(topo, receiver_router)
+    pre_path = topo.shortest_path(sender, receiver)
+    assert pre_path is not None, "mesh must be connected"
+    failed = _pick_failed_link(scenario_rng, pre_path, sender, receiver)
+    expected_final = topo.shortest_path(sender, receiver, exclude_link=failed)
+    driver = SingleLinkFailureDriver(failed, config.fail_time)
+    events = tuple(driver.generate(config.end_time))
+    spec = ShardScenarioSpec(
+        protocol=protocol,
+        degree=degree,
+        seed=seed,
+        config=config,
+        topology=topo,
+        sender=sender,
+        receiver=receiver,
+        pre_path=tuple(pre_path),
+        expected_final=tuple(expected_final) if expected_final else None,
+        events=events,
+    )
+    return run_sharded(
+        spec,
+        exchange=exchange,
+        barrier_timeout=barrier_timeout,
+        collect_traces=collect_traces,
+        validate=validate,
+    )

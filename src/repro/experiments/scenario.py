@@ -316,6 +316,26 @@ def run_scenario(
     read-only and does not perturb results.
     """
     config = config or ExperimentConfig.quick()
+    if config.shards > 1:
+        # Delegate to the sharded runtime (repro.dist): same layout, same
+        # schedule, byte-identical result — pinned by the differential suite.
+        unsupported = {
+            "monitors": monitors,
+            "obs": obs,
+            "recorder": recorder,
+            "dump_dir": dump_dir,
+            "driver_factory": driver_factory,
+        }
+        given = sorted(name for name, value in unsupported.items() if value is not None)
+        if given:
+            raise ValueError(
+                f"sharded runs (shards={config.shards}) do not support "
+                f"{', '.join(given)}; the offline merge re-derives the "
+                "invariants it can (see docs/distributed.md)"
+            )
+        from ..dist.runner import run_scenario_sharded
+
+        return run_scenario_sharded(protocol, degree, seed, config)
     if recorder is None and dump_dir is not None:
         recorder = FlightRecorder()
     if monitors is None and config.validate:

@@ -57,6 +57,7 @@ class _Channel:
         "_bandwidth",
         "_prop_delay",
         "transmitted",
+        "arrival_gate",
     )
 
     def __init__(self, sim: Simulator, link: "Link", src: int, dst: int) -> None:
@@ -76,6 +77,11 @@ class _Channel:
         self._bandwidth = link.spec.bandwidth
         self._prop_delay = link.spec.delay
         self.transmitted = 0
+        #: Optional arrival interceptor, called as ``gate(channel, packet)``
+        #: instead of delivering.  Installed by repro.dist on channels into
+        #: cut-adjacent nodes so same-instant arrivals can be sequenced; the
+        #: gate finishes the delivery via :meth:`deliver_now`.
+        self.arrival_gate: Optional[Callable[["_Channel", Packet], None]] = None
 
     def send(self, packet: Packet) -> None:
         if not self._link.up:
@@ -122,6 +128,15 @@ class _Channel:
 
     def _arrive(self, packet: Packet) -> None:
         del self._in_flight[id(packet)]
+        gate = self.arrival_gate
+        if gate is not None:
+            gate(self, packet)
+            return
+        self._link._deliver(self.dst, packet, self.src)
+
+    def deliver_now(self, packet: Packet) -> None:
+        """Finish an arrival whose propagation event already fired (or was
+        cancelled by a sequencer that is replaying the slot in order)."""
         self._link._deliver(self.dst, packet, self.src)
 
     def occupancy(self, data_only: bool = False) -> int:
@@ -166,6 +181,8 @@ class Link:
         "_channels",
         "failed_at",
         "fail_listeners",
+        "message_tap",
+        "reliable_gate",
     )
 
     def __init__(
@@ -190,6 +207,18 @@ class Link:
         #: Called (with no arguments) the instant the link fails; used by
         #: reliable channels to flush their in-flight messages.
         self.fail_listeners: list[Callable[[], None]] = []
+        #: Optional hook called as ``tap(src, dst, payload, arrive_at,
+        #: tx_start)`` when a reliable channel on this link accepts a message.
+        #: Installed by repro.dist on cut links to relay messages to the far
+        #: shard.
+        self.message_tap: Optional[
+            Callable[[int, int, object, float, float], None]
+        ] = None
+        #: Optional arrival interceptor inherited by every ReliableChannel
+        #: opened over this link, called as ``gate(channel, entry)``.
+        #: Installed by repro.dist on links into cut-adjacent nodes (at link
+        #: creation, so sessions opened at any later point inherit it too).
+        self.reliable_gate = None
 
     @property
     def endpoints(self) -> tuple[int, int]:

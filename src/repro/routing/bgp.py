@@ -31,14 +31,14 @@ Two parameterizations reproduce the paper's curves: ``BgpConfig.standard()``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterable, Optional
 
 from ..net.channels import ReliableChannel
 from ..net.network import Network
 from ..net.node import Node
 from ..sim.rng import RngStreams
 from ..sim.timers import OneShotTimer
-from ..topology.graph import Topology, all_shortest_path_trees
+from ..topology.graph import Topology, all_shortest_path_trees, destination_path_trees
 from .base import RoutingProtocol
 from .damping import DampingConfig, RouteDampener
 from .messages import PathVectorUpdate, PathVectorWithdrawal
@@ -122,9 +122,32 @@ class BgpProtocol(RoutingProtocol):
             self._export(nbr, self.node.id)
         self._flush_batch()
 
-    def warm_start(self, topology: Topology) -> None:
-        trees = all_shortest_path_trees(topology)
-        my_tree = trees[self.node.id]
+    def warm_start(
+        self, topology: Topology, dests: Optional[Iterable[int]] = None
+    ) -> None:
+        # With ``dests`` (10k-node sharded runs) only routes toward those
+        # destinations are installed, from destination-rooted trees: one
+        # Dijkstra per destination instead of one per router.  The result is
+        # prefix-closed and loop-free but not byte-identical to the
+        # unrestricted warm start, whose tie-breaks are source-rooted.
+        if dests is None:
+            trees = all_shortest_path_trees(topology)
+
+            def paths_from(node: int) -> dict[int, list[int]]:
+                return trees[node]
+
+        else:
+            rooted = destination_path_trees(topology, dests)
+
+            def paths_from(node: int) -> dict[int, list[int]]:
+                restricted: dict[int, list[int]] = {}
+                for dest, tree in rooted.items():
+                    path = tree.get(node)
+                    if path is not None:
+                        restricted[dest] = path
+                return restricted
+
+        my_tree = paths_from(self.node.id)
         for dest, path in my_tree.items():
             if dest == self.node.id:
                 continue
@@ -133,7 +156,7 @@ class BgpProtocol(RoutingProtocol):
         for nbr in self.node.up_neighbors():
             self._open_session(nbr)
             rib_in_n: dict[int, PathAttr] = {}
-            for dest, path in trees[nbr].items():
+            for dest, path in paths_from(nbr).items():
                 attr = PathAttr.of(path)
                 if not attr.contains(self.node.id):
                     rib_in_n[dest] = attr

@@ -8,12 +8,15 @@ lattice structure).
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from typing import Optional
 
 import networkx as nx
 
 from ..sim import units
+from ..sim.rng import RngStreams
 from .graph import LinkSpec, Topology
 
 __all__ = [
@@ -22,6 +25,7 @@ __all__ = [
     "star",
     "complete",
     "random_regular",
+    "scale_free",
     "waxman",
     "attach_host",
     "from_networkx",
@@ -91,6 +95,66 @@ def random_regular(
             return topo
         attempt_seed += 1
     raise RuntimeError(f"no connected {degree}-regular graph found from seed {seed}")
+
+
+def scale_free(
+    n: int,
+    m: int = 2,
+    seed: int = 1,
+    exponent: float = 1.0,
+    **attrs,
+) -> Topology:
+    """Preferential-attachment scale-free graph (AS-graph stand-in).
+
+    Grows from an ``m+1``-node star: each new node attaches ``m`` links to
+    distinct existing nodes chosen with probability proportional to
+    ``degree ** exponent`` (1.0 = classic Barabási–Albert; larger exponents
+    thicken the hubs).  Connected by construction, and all randomness comes
+    from one :class:`RngStreams` stream, so the same ``(n, m, seed,
+    exponent)`` reproduces the same graph in any process.
+
+    The ``exponent != 1`` path recomputes attachment weights per joining
+    node (O(n^2) total) — fine for test-sized graphs; the 10k-node sharded
+    scenarios use the linear classic path.
+    """
+    if m < 1:
+        raise ValueError(f"scale_free needs m >= 1, got {m}")
+    if n < m + 2:
+        raise ValueError(f"scale_free needs n >= m+2, got n={n} m={m}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    rng = RngStreams(seed).stream(f"scale-free-m{m}-x{exponent}")
+    topo = Topology(name=f"sf-{n}-m{m}-s{seed}")
+    for i in range(1, m + 1):
+        topo.add_link(_standard_link(0, i, **attrs))
+    if exponent == 1.0:
+        # Classic linear preferential attachment: sample from a list where
+        # each node appears once per unit of degree.
+        targets = [0] * m + list(range(1, m + 1))
+        for new in range(m + 1, n):
+            chosen: set[int] = set()
+            while len(chosen) < m:
+                chosen.add(targets[rng.randrange(len(targets))])
+            for t in sorted(chosen):
+                topo.add_link(_standard_link(t, new, **attrs))
+                targets.append(t)
+            targets.extend([new] * m)
+    else:
+        degree = {i: 1 for i in range(1, m + 1)}
+        degree[0] = m
+        nodes = sorted(degree)
+        for new in range(m + 1, n):
+            cum = list(itertools.accumulate(degree[v] ** exponent for v in nodes))
+            chosen = set()
+            while len(chosen) < m:
+                idx = bisect.bisect_right(cum, rng.random() * cum[-1])
+                chosen.add(nodes[min(idx, len(nodes) - 1)])
+            for t in sorted(chosen):
+                topo.add_link(_standard_link(t, new, **attrs))
+                degree[t] += 1
+            degree[new] = m
+            nodes.append(new)
+    return topo
 
 
 def waxman(

@@ -21,6 +21,7 @@ __all__ = [
     "Topology",
     "shortest_path_tree",
     "all_shortest_path_trees",
+    "destination_path_trees",
     "merge",
 ]
 
@@ -214,6 +215,56 @@ def all_shortest_path_trees(topo: "Topology") -> dict[int, dict[int, list[int]]]
         _TREE_CACHE.clear()
     _TREE_CACHE[key] = trees
     return trees
+
+
+# Keyed by id(topo), validated against a weak reference to the owning
+# Topology: building a sorted-link-set key is O(E log E) per call, too slow
+# to repeat for every router of a 10k-node warm start.  The weakref guard
+# makes id() reuse after garbage collection safe.
+_DEST_TREE_CACHE: dict[int, dict[int, dict[int, list[int]]]] = {}
+_DEST_TREE_OWNERS: "weakref.WeakValueDictionary[int, Topology]" = None  # type: ignore[assignment]
+
+
+def destination_path_trees(
+    topo: "Topology", dests: Iterable[int]
+) -> dict[int, dict[int, list[int]]]:
+    """Deterministic shortest paths *toward* each destination.
+
+    Returns ``{dest: {node: [node, ..., dest]}}`` — the tree rooted at the
+    destination, with each path reversed to run from the node to the root.
+    One Dijkstra per destination network-wide (instead of one per node as in
+    :func:`all_shortest_path_trees`), which is what makes a 10k-node warm
+    start restricted to a few traffic destinations affordable.
+
+    Tie-breaking is the destination-rooted lexicographic minimum, so a path
+    may legitimately differ from the source-rooted tree's choice for the
+    same pair; within one call the result is prefix-closed and loop-free,
+    which is all a restricted warm start needs.
+    """
+    global _DEST_TREE_OWNERS
+    import weakref
+
+    if _DEST_TREE_OWNERS is None:
+        _DEST_TREE_OWNERS = weakref.WeakValueDictionary()
+    key = id(topo)
+    if _DEST_TREE_OWNERS.get(key) is not topo:
+        _DEST_TREE_CACHE.pop(key, None)
+        if len(_DEST_TREE_CACHE) > 8:
+            _DEST_TREE_CACHE.clear()
+        _DEST_TREE_OWNERS[key] = topo
+    per_dest = _DEST_TREE_CACHE.setdefault(key, {})
+    graph: Optional[nx.Graph] = None
+    out: dict[int, dict[int, list[int]]] = {}
+    for dest in sorted(set(dests)):
+        tree = per_dest.get(dest)
+        if tree is None:
+            if graph is None:
+                graph = topo.to_networkx()
+            rooted = shortest_path_tree(graph, dest)
+            tree = {node: list(reversed(path)) for node, path in rooted.items()}
+            per_dest[dest] = tree
+        out[dest] = tree
+    return out
 
 
 def merge(name: str, parts: Iterable[Topology]) -> Topology:

@@ -1,0 +1,129 @@
+"""Property tests for the topology partitioner (the repro.dist contract)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.partition import partition_topology
+from repro.topology import generators
+from repro.topology.graph import Topology
+from repro.topology.mesh import regular_mesh
+
+
+def _check_contract(topo, partition, shards):
+    # Every node in exactly one shard; shards together cover the node set.
+    assert set(partition.assignment) == set(topo.nodes)
+    assert sum(len(p) for p in partition.parts) == topo.n_nodes
+    for node, shard in partition.assignment.items():
+        assert node in partition.parts[shard]
+    assert all(partition.parts)  # no empty shard
+    assert partition.shards == shards
+
+    # Cut-link set: exactly the links whose endpoints differ in shard, in
+    # canonical sorted (min, max) order.
+    expected_cut = sorted(
+        key
+        for key in topo.links
+        if partition.assignment[key[0]] != partition.assignment[key[1]]
+    )
+    assert list(partition.cut_links) == expected_cut
+    assert all(a < b for a, b in partition.cut_links)
+
+    # Lookahead: the minimum propagation delay over cut links.
+    if partition.cut_links:
+        assert partition.lookahead == min(
+            topo.links[key].delay for key in partition.cut_links
+        )
+    else:
+        assert partition.lookahead == math.inf
+
+
+class TestPartitionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(3, 5),
+        cols=st.integers(3, 5),
+        shards=st.integers(2, 4),
+        strategy=st.sampled_from(["mincut", "stripe"]),
+    )
+    def test_mesh_partitions_satisfy_contract(self, rows, cols, shards, strategy):
+        topo = regular_mesh(rows, cols, 4)
+        if shards > topo.n_nodes:
+            return
+        partition = partition_topology(topo, shards, strategy=strategy)
+        _check_contract(topo, partition, shards)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(6, 40),
+        m=st.integers(1, 3),
+        seed=st.integers(0, 50),
+        shards=st.integers(2, 5),
+    )
+    def test_scale_free_partitions_satisfy_contract(self, n, m, seed, shards):
+        if n < m + 2 or shards > n:
+            return
+        topo = generators.scale_free(n, m=m, seed=seed)
+        partition = partition_topology(topo, shards)
+        _check_contract(topo, partition, shards)
+
+    def test_partition_is_deterministic(self):
+        topo = generators.scale_free(60, m=2, seed=9)
+        first = partition_topology(topo, 3)
+        second = partition_topology(topo, 3)
+        assert first.assignment == second.assignment
+        assert first.cut_links == second.cut_links
+        assert first.lookahead == second.lookahead
+
+
+class TestDegenerateInputs:
+    def test_one_shard_warns_and_is_trivial(self):
+        topo = regular_mesh(3, 3, 4)
+        with pytest.warns(UserWarning, match="1 shard is trivial"):
+            partition = partition_topology(topo, 1)
+        assert partition.cut_links == ()
+        assert partition.lookahead == math.inf
+        assert set(partition.parts[0]) == set(topo.nodes)
+
+    def test_more_shards_than_nodes_raises(self):
+        topo = generators.line(3)
+        with pytest.raises(ValueError, match="cannot split 3 node"):
+            partition_topology(topo, 4)
+
+    def test_zero_shards_raises(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            partition_topology(generators.line(3), 0)
+
+    def test_disconnected_topology_raises(self):
+        topo = Topology(name="two-islands")
+        for spec in generators.line(2).links.values():
+            topo.add_link(spec)
+        topo.add_node(10)
+        topo.add_node(11)
+        from repro.topology.graph import LinkSpec
+
+        topo.add_link(LinkSpec(10, 11, cost=1, delay=0.001, bandwidth=1e6))
+        with pytest.raises(ValueError, match="disconnected"):
+            partition_topology(topo, 2)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            partition_topology(generators.line(4), 2, strategy="metis")
+
+    def test_stripe_produces_contiguous_blocks(self):
+        topo = generators.line(9)
+        partition = partition_topology(topo, 3, strategy="stripe")
+        assert [partition.shard_of(n) for n in range(9)] == [
+            0, 0, 0, 1, 1, 1, 2, 2, 2,
+        ]
+
+    def test_mincut_on_a_line_cuts_no_more_than_stripe(self):
+        # On a path graph the optimal (shards-1)-link cut is achievable.
+        topo = generators.line(12)
+        mincut = partition_topology(topo, 3, strategy="mincut")
+        assert len(mincut.cut_links) <= len(
+            partition_topology(topo, 3, strategy="stripe").cut_links
+        )
