@@ -8,10 +8,12 @@ Two unrelated "overheads" live here:
   change, so their counts isolate the convergence traffic itself;
 * the cost of the :mod:`repro.obs` observability layer itself, as a script
   harness: one DBF scenario timed with observation off (the default path),
-  with a full :class:`~repro.obs.RunObservation` attached, and with a
-  :class:`~repro.obs.FlightRecorder` attached.  Each delta is the price of
+  with a full :class:`~repro.obs.RunObservation` attached, with a
+  :class:`~repro.obs.FlightRecorder` attached, and with a ``--live-log``
+  run-event log streamed to disk.  Each delta is the price of
   instrumenting a run; the budget is a few percent (3 % is the target for
-  the recorder — see docs/tracing.md for what it actually measures at)::
+  the recorder, 2 % for the live log — see docs/tracing.md and
+  docs/live.md for what they actually measure at)::
 
       PYTHONPATH=src python benchmarks/bench_overhead.py --json BENCH_obs.json
       PYTHONPATH=src python benchmarks/bench_overhead.py --smoke
@@ -56,28 +58,45 @@ def test_overhead_sweep(benchmark, config):
 # ------------------------------------------------------------ script harness
 
 
-_VARIANTS = ("off", "obs", "flight")
+_VARIANTS = ("off", "obs", "flight", "live")
 
 
 def _scenario_cpu_seconds(post_fail_window: float, variant: str) -> float:
     """CPU seconds for one DBF scenario under one instrumentation variant.
 
     ``variant`` is ``"off"`` (the default zero-instrumentation path),
-    ``"obs"`` (a full :class:`RunObservation`), or ``"flight"`` (a
-    :class:`FlightRecorder` ring-buffering every record kind).
+    ``"obs"`` (a full :class:`RunObservation`), ``"flight"`` (a
+    :class:`FlightRecorder` ring-buffering every record kind), or
+    ``"live"`` (a ``--live-log`` run-event log streamed to a temp file —
+    opening, writing, and flushing the log all land inside the timed
+    region, since that is exactly what a logged run pays).
     """
+    import os
+    import tempfile
+
     from repro.obs import FlightRecorder, RunObservation
 
     cfg = ExperimentConfig.quick().with_(runs=1, post_fail_window=post_fail_window)
     obs = RunObservation() if variant == "obs" else None
     recorder = FlightRecorder() if variant == "flight" else None
+    live_log = None
+    if variant == "live":
+        fd, live_log = tempfile.mkstemp(suffix=".runlog")
+        os.close(fd)
     gc.collect()
     started = time.process_time()
-    result = run_scenario("dbf", 4, 1, cfg, obs=obs, recorder=recorder)
+    result = run_scenario(
+        "dbf", 4, 1, cfg, obs=obs, recorder=recorder, live_log=live_log
+    )
     elapsed = time.process_time() - started
     assert result.delivered > 0
     if recorder is not None:
         assert len(recorder.records("packet")) > 0
+    if live_log is not None:
+        from repro.obs.live import check_log, read_log
+
+        assert check_log(read_log(live_log)) == []
+        os.unlink(live_log)
     return elapsed
 
 
@@ -98,7 +117,8 @@ def _measure(post_fail_window: float, rounds: int) -> dict[str, float]:
         times: dict[str, list[float]] = {v: [] for v in _VARIANTS}
         ratios: dict[str, list[float]] = {v: [] for v in _VARIANTS[1:]}
         for i in range(rounds):
-            order = _VARIANTS[i % 3:] + _VARIANTS[: i % 3]
+            shift = i % len(_VARIANTS)
+            order = _VARIANTS[shift:] + _VARIANTS[:shift]
             sample = {}
             for variant in order:
                 sample[variant] = _scenario_cpu_seconds(post_fail_window, variant)
@@ -134,12 +154,15 @@ def main(argv: list[str] | None = None) -> int:
     m = _measure(window, rounds)
     baseline_s, observed_s, flight_s = m["off_s"], m["obs_s"], m["flight_s"]
     overhead_pct, flight_pct = m["obs_pct"], m["flight_pct"]
+    live_s, live_pct = m["live_s"], m["live_pct"]
 
     print(f"{'baseline (obs off)':>24}: {baseline_s:.4f} s")
     print(f"{'observed (obs on)':>24}: {observed_s:.4f} s")
     print(f"{'recorded (flight on)':>24}: {flight_s:.4f} s")
+    print(f"{'logged (live log on)':>24}: {live_s:.4f} s")
     print(f"{'obs overhead':>24}: {overhead_pct:+.2f} %")
     print(f"{'flight overhead':>24}: {flight_pct:+.2f} %")
+    print(f"{'live-log overhead':>24}: {live_pct:+.2f} %")
 
     if args.json:
         payload = {
@@ -162,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
                 },
                 "flight_overhead_pct": {
                     "value": flight_pct, "unit": "%", "higher_is_better": False,
+                },
+                "scenario_live_on": {
+                    "value": live_s, "unit": "s", "higher_is_better": False,
+                },
+                "live_overhead_pct": {
+                    "value": live_pct, "unit": "%", "higher_is_better": False,
                 },
             },
         }

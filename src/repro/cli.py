@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--degree", type=int, default=4)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--rate", type=float, help="packets/second")
+    run_p.add_argument(
+        "--live-log", metavar="FILE",
+        help="stream a run-event log (JSONL) here; tail it with "
+             "`repro watch FILE` from another terminal",
+    )
 
     churn_p = sub.add_parser(
         "churn",
@@ -100,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump-dir", metavar="DIR",
         help="write a post-mortem flight dump here if any monitor fires",
     )
+    churn_p.add_argument(
+        "--live-log", metavar="FILE",
+        help="stream a run-event log (JSONL) here; tail it with "
+             "`repro watch FILE` from another terminal",
+    )
 
     shard_p = sub.add_parser(
         "shard",
@@ -131,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
     shard_p.add_argument(
         "--window", type=float, default=30.0,
         help="seconds observed after the failure (default 30)",
+    )
+    shard_p.add_argument(
+        "--live-log", metavar="FILE",
+        help="stream a run-event log (JSONL) of barrier windows and "
+             "per-shard heartbeats here; tail it with `repro watch FILE`",
+    )
+    shard_p.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write a cross-shard Chrome trace-event JSON here (node lanes "
+             "plus one lane per shard; requires --live-log)",
     )
 
     fig_p = sub.add_parser("figure", help="reproduce one paper figure")
@@ -170,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--progress", action="store_true", help="print per-seed progress lines"
+    )
+    sweep_p.add_argument(
+        "--live-log", metavar="FILE",
+        help="stream a run-event log (JSONL) of per-seed lifecycle records "
+             "here; tail it with `repro watch FILE` from another terminal",
     )
 
     topo_p = sub.add_parser("topology", help="inspect a regular mesh")
@@ -298,6 +323,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="small fixed workload + dump schema self-check (CI smoke)",
     )
 
+    watch_p = sub.add_parser(
+        "watch",
+        help="tail a run-event log written by --live-log and render live "
+             "progress (works on a log another process is still writing)",
+    )
+    watch_p.add_argument("log", help="run-event log file (JSONL)")
+    watch_p.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit instead of following the file",
+    )
+    watch_p.add_argument(
+        "--check", action="store_true",
+        help="schema-check the log first; problems exit non-zero",
+    )
+    watch_p.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval while following (default 0.5)",
+    )
+
     return parser
 
 
@@ -319,7 +363,9 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
-    r = run_scenario(args.protocol, args.degree, args.seed, config)
+    r = run_scenario(
+        args.protocol, args.degree, args.seed, config, live_log=args.live_log
+    )
     print(f"protocol={r.protocol} degree={r.degree} seed={r.seed}")
     print(f"pre-failure path: {' -> '.join(map(str, r.pre_failure_path))}")
     print(f"failed link: {r.failed_link}")
@@ -362,6 +408,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         config,
         monitors=monitors,
         dump_dir=args.dump_dir,
+        live_log=args.live_log,
     )
     fails = sum(1 for e in r.events if e.kind == "fail")
     restores = len(r.events) - fails
@@ -407,6 +454,13 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         partition=args.partition,
     )
     exchange = "process" if args.process else "local"
+    if args.perfetto and not args.live_log:
+        print(
+            "error: --perfetto needs the shard-lane records from a run-event "
+            "log; add --live-log FILE",
+            file=sys.stderr,
+        )
+        return 2
     print(
         f"protocol={args.protocol} degree={args.degree} seed={args.seed} "
         f"shards={args.shards} partition={args.partition} exchange={exchange}"
@@ -422,6 +476,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             config,
             exchange=exchange,
             validate=args.validate,
+            live_log=args.live_log,
         )
         single, s_traces = run_single_with_traces(
             args.protocol, args.degree, args.seed, config
@@ -445,7 +500,22 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             args.seed,
             config,
             exchange=exchange,
+            collect_traces=bool(args.perfetto),
             validate=args.validate,
+            live_log=args.live_log,
+        )
+    if args.live_log:
+        print(f"run-event log written to {args.live_log}")
+    if args.perfetto:
+        from .dist.merge import shard_perfetto_trace
+        from .obs.flight import write_perfetto
+        from .obs.live import read_log
+
+        trace = shard_perfetto_trace(r.traces, read_log(args.live_log))
+        write_perfetto(trace, args.perfetto)
+        print(
+            f"cross-shard perfetto trace written to {args.perfetto} "
+            f"({len(trace['traceEvents'])} events)"
         )
     print(
         f"sent={r.sent} delivered={r.delivered} ({r.delivery_ratio:.1%}) "
@@ -555,6 +625,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             timeout=getattr(args, "timeout", None),
             retries=getattr(args, "retries", 1),
             progress=progress,
+            live_log=getattr(args, "live_log", None),
         )
     except KeyboardInterrupt:
         if store is not None:
@@ -934,6 +1005,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .obs.live import check_log, read_log, watch
+
+    if args.check:
+        records = read_log(args.log)
+        problems = check_log(records)
+        if problems:
+            print(f"LOG SCHEMA PROBLEMS ({len(problems)}):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"log schema: ok ({len(records)} records)")
+    return watch(args.log, once=args.once, interval=args.interval)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.campaign import reproduce
 
@@ -963,6 +1049,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
         "profile": _cmd_profile,
+        "watch": _cmd_watch,
     }
     return handlers[args.command](args)
 

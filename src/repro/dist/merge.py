@@ -41,6 +41,7 @@ __all__ = [
     "merge_results",
     "merge_route_records",
     "canonical_trace_streams",
+    "shard_perfetto_trace",
     "diff_results",
     "TraceProbe",
     "run_single_with_traces",
@@ -281,6 +282,32 @@ def canonical_trace_streams(packets, routes, links, messages) -> dict[str, tuple
     }
 
 
+def shard_perfetto_trace(traces: dict, log_records) -> dict:
+    """Cross-shard Perfetto document: node lanes plus one lane per shard.
+
+    ``traces`` is the :func:`canonical_trace_streams` dict a
+    ``collect_traces`` run attaches as ``result.traces``; ``log_records``
+    is the run-event log (list of dicts, from
+    :func:`repro.obs.live.read_log`).  Packet / FIB / message / link
+    events land on their node lanes exactly as in
+    :func:`repro.obs.flight.perfetto_trace`, and every shard gets its own
+    lane of window spans, barrier-wait fractions, and relay-injection
+    instants — all on the one simulated-time axis, so a cross-shard stall
+    or relay burst lines up visually with the packet activity that caused
+    it.
+    """
+    from ..obs.flight import perfetto_trace
+    from ..obs.live import shard_lane_events
+
+    return perfetto_trace(
+        packets=traces.get("packet", ()),
+        route_changes=traces.get("route", ()),
+        link_events=traces.get("link", ()),
+        messages=traces.get("message", ()),
+        extra=shard_lane_events(log_records),
+    )
+
+
 #: ScenarioResult fields the differential harness compares exactly.
 COMPARED_FIELDS = (
     "protocol",
@@ -384,6 +411,7 @@ def run_sharded_with_traces(
     config,
     exchange: str = "local",
     validate: bool = False,
+    live_log=None,
 ):
     """Sharded run with canonical trace streams attached (determinism proofs)."""
     from .runner import run_scenario_sharded
@@ -396,5 +424,6 @@ def run_sharded_with_traces(
         exchange=exchange,
         collect_traces=True,
         validate=validate,
+        live_log=live_log,
     )
     return result, result.traces

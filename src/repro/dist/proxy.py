@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import pickle
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from ..net.link import Link, _Channel
 from ..net.packet import Packet
@@ -31,7 +31,48 @@ from ..sim.engine import Simulator
 from ..sim.tracing import DropCause
 from ..sim.units import BITS_PER_BYTE
 
-__all__ = ["PacketRelay", "MessageRelay", "BoundaryChannel", "make_message_tap"]
+__all__ = [
+    "PacketRelay",
+    "MessageRelay",
+    "ShardHeartbeat",
+    "BoundaryChannel",
+    "make_message_tap",
+]
+
+
+class ShardHeartbeat(NamedTuple):
+    """One shard's progress snapshot, piggybacked on every barrier exchange.
+
+    Rides the existing ``("ok", value)`` pipe response of the ``run``
+    command — no extra sync point, and pickling cost is a few dozen bytes
+    next to the relay batch it travels with.  All counts are cumulative
+    since worker start; ``busy_s`` is wall time spent inside ``sim.run``
+    and ``wall_s`` is wall time since the worker host was created, so
+    ``1 - busy_s / wall_s`` is the barrier-wait (plus setup) fraction.
+    """
+
+    shard: int
+    #: The barrier this window ran up to (exclusive horizon origin).
+    barrier: float
+    #: The shard simulator's clock after the window.
+    clock: float
+    events: int
+    relays_out: int
+    relays_in: int
+    busy_s: float
+    wall_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "barrier": self.barrier,
+            "clock": self.clock,
+            "events": self.events,
+            "relays_out": self.relays_out,
+            "relays_in": self.relays_in,
+            "busy_s": self.busy_s,
+            "wall_s": self.wall_s,
+        }
 
 
 @dataclass(frozen=True)

@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import time as _wallclock
 import traceback
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..experiments.config import ExperimentConfig
+from ..obs.registry import MetricsRegistry
 from ..net.dynamics import LinkEvent, SingleLinkFailureDriver
 from ..net.packet import reset_packet_ids
 from ..sim.rng import RngStreams
@@ -44,7 +46,7 @@ from ..topology.generators import attach_host
 from ..topology.graph import Topology
 from ..topology.mesh import regular_mesh
 from .partition import Partition, partition_topology
-from .proxy import Relay
+from .proxy import Relay, ShardHeartbeat
 from .worker import ShardHost, ShardOutput, ShardPlan, maybe_fault
 
 __all__ = [
@@ -58,14 +60,53 @@ __all__ = [
 
 
 class ShardStallError(RuntimeError):
-    """A worker shard hung or died; the run was torn down, not deadlocked."""
+    """A worker shard hung or died; the run was torn down, not deadlocked.
 
-    def __init__(self, shard_index: int, window_time: float, reason: str) -> None:
+    Beyond the stalled window's virtual time, the error carries everything
+    the coordinator knew when it gave up: each shard's last *completed*
+    window, whether each worker pipe was still open, and the last
+    :class:`~repro.dist.proxy.ShardHeartbeat` received per shard — so a
+    stall names which shard stopped advancing and at what event count, not
+    just the barrier timestamp.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        window_time: float,
+        reason: str,
+        last_windows: Optional[dict] = None,
+        pipes_open: Optional[dict] = None,
+        heartbeats: Optional[dict] = None,
+    ) -> None:
         self.shard_index = shard_index
         self.window_time = window_time
-        super().__init__(
+        self.reason = reason
+        #: shard -> last barrier that shard completed (None before any).
+        self.last_windows = dict(last_windows or {})
+        #: shard -> whether its pipe/process was still open at detection.
+        self.pipes_open = dict(pipes_open or {})
+        #: shard -> last ShardHeartbeat received (None before any).
+        self.heartbeats = dict(heartbeats or {})
+        message = (
             f"shard {shard_index} stalled at window t={window_time:.3f}: {reason}"
         )
+        beat = self.heartbeats.get(shard_index)
+        if beat is not None:
+            message += (
+                f"; last heartbeat: clock={beat.clock:.3f}s "
+                f"events={beat.events} relays_out={beat.relays_out} "
+                f"after window t={beat.barrier:.3f}"
+            )
+        if self.last_windows:
+            parts = []
+            for shard in sorted(self.last_windows):
+                last = self.last_windows[shard]
+                done = "none" if last is None else f"t={last:.3f}"
+                pipe = "open" if self.pipes_open.get(shard) else "closed"
+                parts.append(f"shard {shard}: last window {done}, pipe {pipe}")
+            message += " [" + "; ".join(parts) + "]"
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -104,11 +145,14 @@ class LocalExchange:
     def peek_times(self) -> list[Optional[float]]:
         return [host.peek_time() for host in self.hosts]
 
-    def run_until(self, barrier: float) -> list[Relay]:
+    def run_until(self, barrier: float) -> tuple[list[Relay], list[ShardHeartbeat]]:
         relays: list[Relay] = []
+        beats: list[ShardHeartbeat] = []
         for host in self.hosts:
-            relays.extend(host.run_until(barrier))
-        return relays
+            out, beat = host.run_until(barrier)
+            relays.extend(out)
+            beats.append(beat)
+        return relays, beats
 
     def inject(self, per_shard: dict[int, list[Relay]]) -> None:
         for shard in sorted(per_shard):
@@ -163,6 +207,15 @@ class ProcessExchange:
         ctx = multiprocessing.get_context("fork")
         self._procs = []
         self._conns = []
+        # Stall forensics, updated as responses arrive: last barrier each
+        # shard completed and its last heartbeat.  Attached to
+        # ShardStallError so a stall names which shard stopped advancing.
+        self._last_windows: dict[int, Optional[float]] = {
+            index: None for index in range(len(plans))
+        }
+        self._heartbeats: dict[int, Optional[ShardHeartbeat]] = {
+            index: None for index in range(len(plans))
+        }
         for plan in plans:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -175,18 +228,35 @@ class ProcessExchange:
         for index in range(len(plans)):
             self._recv(index, window=0.0)
 
+    def _pipes_open(self) -> dict[int, bool]:
+        return {
+            index: proc.is_alive() and not conn.closed
+            for index, (proc, conn) in enumerate(zip(self._procs, self._conns))
+        }
+
+    def _stall(self, index: int, window: float, reason: str) -> ShardStallError:
+        # Capture pipe state BEFORE teardown terminates every worker.
+        error = ShardStallError(
+            index,
+            window,
+            reason,
+            last_windows=self._last_windows,
+            pipes_open=self._pipes_open(),
+            heartbeats=self._heartbeats,
+        )
+        self._teardown()
+        return error
+
     def _recv(self, index: int, window: float):
         conn = self._conns[index]
         if not conn.poll(self._timeout):
-            self._teardown()
-            raise ShardStallError(
+            raise self._stall(
                 index, window, f"no response within {self._timeout:.0f}s"
             )
         try:
             status, value = conn.recv()
         except EOFError:
-            self._teardown()
-            raise ShardStallError(index, window, "worker process died") from None
+            raise self._stall(index, window, "worker process died") from None
         if status != "ok":
             self._teardown()
             raise RuntimeError(f"shard {index} worker failed:\n{value}")
@@ -200,11 +270,18 @@ class ProcessExchange:
     def peek_times(self) -> list[Optional[float]]:
         return self._broadcast(("peek",), window=0.0)
 
-    def run_until(self, barrier: float) -> list[Relay]:
+    def run_until(self, barrier: float) -> tuple[list[Relay], list[ShardHeartbeat]]:
         relays: list[Relay] = []
-        for batch in self._broadcast(("run", barrier), window=barrier):
+        beats: list[ShardHeartbeat] = []
+        for conn in self._conns:
+            conn.send(("run", barrier))
+        for index in range(len(self._conns)):
+            batch, beat = self._recv(index, window=barrier)
             relays.extend(batch)
-        return relays
+            beats.append(beat)
+            self._last_windows[index] = barrier
+            self._heartbeats[index] = beat
+        return relays, beats
 
     def inject(self, per_shard: dict[int, list[Relay]]) -> None:
         for shard in sorted(per_shard):
@@ -245,12 +322,45 @@ def _relay_sort_key(relay: Relay) -> tuple:
     return (relay.arrive_at, relay.link, relay.src, relay.seq)
 
 
+#: Bucket edges for per-window engine-event bursts (events between barriers).
+_WINDOW_EVENT_BUCKETS = (1.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+def _fold_heartbeat(
+    registry: MetricsRegistry, beat: ShardHeartbeat, prev: Optional[ShardHeartbeat]
+) -> None:
+    """Fold one heartbeat's deltas into that shard's registry.
+
+    Heartbeat fields are cumulative, so each window contributes its delta
+    against the previous beat — which makes merging per-shard registries
+    agree with an unsharded aggregate (see ``MetricsRegistry.merge``).
+    """
+    delta_events = beat.events - (prev.events if prev is not None else 0)
+    registry.counter("shard.windows").inc()
+    registry.counter("shard.events").inc(delta_events)
+    registry.counter("shard.relays_out").inc(
+        beat.relays_out - (prev.relays_out if prev is not None else 0)
+    )
+    registry.counter("shard.relays_in").inc(
+        beat.relays_in - (prev.relays_in if prev is not None else 0)
+    )
+    registry.gauge("shard.clock").set(beat.clock)
+    registry.gauge("shard.busy_s").set(beat.busy_s)
+    registry.gauge("shard.wall_s").set(beat.wall_s)
+    registry.histogram("shard.window_events", _WINDOW_EVENT_BUCKETS).observe(
+        delta_events
+    )
+
+
 def run_sharded(
     spec: ShardScenarioSpec,
     exchange: str = "local",
     barrier_timeout: float = 60.0,
     collect_traces: bool = False,
     validate: Optional[bool] = None,
+    live_log: Union[None, str, "object"] = None,
+    heartbeat_interval: float = 1.0,
+    registries: Optional[dict[int, MetricsRegistry]] = None,
 ):
     """Run ``spec`` partitioned across ``spec.config.shards`` shards.
 
@@ -260,7 +370,20 @@ def run_sharded(
     ``collect_traces`` is set the per-shard trace streams are attached to
     the result as ``result.traces`` (see :func:`~repro.dist.merge.
     canonical_trace_streams`).
+
+    ``live_log`` (a path or an open :class:`~repro.obs.live.RunEventLog`)
+    streams heartbeat/window records as the run executes; emission is
+    throttled to one batch per ``heartbeat_interval`` simulated seconds
+    (thousands of barrier windows fit in one simulated second), with the
+    final per-shard heartbeats and ``shard-end`` totals always written so
+    the log replays into exactly the totals the coordinator reports.
+    ``registries``, if given, is filled with a per-shard
+    :class:`~repro.obs.registry.MetricsRegistry` aggregated from every
+    heartbeat (not throttled).  Both are harvested off worker-maintained
+    counters between windows — the simulation itself stays byte-identical
+    (the transparency tests pin this).
     """
+    from ..obs.live import open_live_log  # obs imports net/sim; keep cycle-free
     from .merge import merge_results  # merge imports metrics; keep cycle-free
 
     config = spec.config
@@ -315,14 +438,80 @@ def run_sharded(
         )
         for index in range(config.shards)
     ]
-    if exchange == "process":
-        xchg = ProcessExchange(plans, timeout=barrier_timeout)
-    elif exchange == "local":
-        xchg = LocalExchange(plans)
-    else:
-        raise ValueError(f"unknown exchange {exchange!r} (local | process)")
+    log, owns_log = open_live_log(
+        live_log,
+        run="shard",
+        meta={
+            "protocol": spec.protocol,
+            "degree": spec.degree,
+            "seed": spec.seed,
+            "shards": config.shards,
+            "exchange": exchange,
+        },
+    )
+    telemetry = log is not None or registries is not None
+    regs = registries if registries is not None else {}
+    last_beats: dict[int, ShardHeartbeat] = {}
+    pending_windows = 0
+    pending_relays = 0
+    emit_from = _wallclock.perf_counter()
+    next_emit = 0.0
+    emit_index = 0
 
+    def note(beats: list[ShardHeartbeat], n_relays: int) -> None:
+        nonlocal pending_windows, pending_relays
+        if not telemetry:
+            return
+        pending_windows += 1
+        pending_relays += n_relays
+        for beat in beats:
+            registry = regs.get(beat.shard)
+            if registry is None:
+                registry = regs[beat.shard] = MetricsRegistry()
+            _fold_heartbeat(registry, beat, last_beats.get(beat.shard))
+            last_beats[beat.shard] = beat
+
+    def emit(barrier: float, e_min: Optional[float]) -> None:
+        """Flush the coalesced window stats + current heartbeats to the log."""
+        nonlocal pending_windows, pending_relays, emit_from, next_emit, emit_index
+        if log is None or pending_windows == 0:
+            return
+        now = _wallclock.perf_counter()
+        log.window(
+            index=emit_index,
+            e_min=e_min,
+            barrier=barrier,
+            n_windows=pending_windows,
+            n_relays=pending_relays,
+            wall_s=now - emit_from,
+        )
+        emit_index += 1
+        for shard in sorted(last_beats):
+            beat = last_beats[shard]
+            log.heartbeat(
+                shard=beat.shard,
+                clock=beat.clock,
+                events=beat.events,
+                barrier=beat.barrier,
+                relays_out=beat.relays_out,
+                relays_in=beat.relays_in,
+                busy_s=beat.busy_s,
+                wall_s=beat.wall_s,
+            )
+        pending_windows = 0
+        pending_relays = 0
+        emit_from = now
+        next_emit = barrier + heartbeat_interval
+
+    xchg = None
     try:
+        if exchange == "process":
+            xchg = ProcessExchange(plans, timeout=barrier_timeout)
+        elif exchange == "local":
+            xchg = LocalExchange(plans)
+        else:
+            raise ValueError(f"unknown exchange {exchange!r} (local | process)")
+
         lookahead = partition.lookahead
         while True:
             peeks = [t for t in xchg.peek_times() if t is not None]
@@ -343,7 +532,8 @@ def run_sharded(
                     if horizon > end_at
                     else math.nextafter(horizon, -math.inf)
                 )
-            relays = xchg.run_until(barrier)
+            relays, beats = xchg.run_until(barrier)
+            note(beats, len(relays))
             while relays:
                 relays.sort(key=_relay_sort_key)
                 per_shard: dict[int, list[Relay]] = {}
@@ -356,14 +546,42 @@ def run_sharded(
                     # With the exclusive horizon every relay arrives at
                     # >= e_min + lookahead > barrier, so this is a safety
                     # net, not an expected path.
-                    relays = xchg.run_until(barrier)
+                    relays, beats = xchg.run_until(barrier)
+                    note(beats, len(relays))
                 else:
                     break
+            if barrier >= next_emit:
+                emit(barrier, e_min)
             if barrier >= end_at:
                 break
         outputs = xchg.finalize()
+        if log is not None:
+            emit(end_at, None)  # flush a sub-interval tail, if any
+            for shard in sorted(last_beats):
+                beat = last_beats[shard]
+                log.shard_end(
+                    shard=shard,
+                    events=beat.events,
+                    relays_out=beat.relays_out,
+                    relays_in=beat.relays_in,
+                )
+            log.end(ok=True)
+    except ShardStallError as stall:
+        if log is not None:
+            beat = stall.heartbeats.get(stall.shard_index)
+            log.stall(
+                shard=stall.shard_index,
+                window=stall.window_time,
+                reason=stall.reason,
+                heartbeat=beat.to_dict() if beat is not None else None,
+            )
+            log.end(ok=False, error=str(stall))
+        raise
     finally:
-        xchg.close()
+        if xchg is not None:
+            xchg.close()
+        if owns_log:
+            log.close()
 
     return merge_results(
         spec=spec,
@@ -387,6 +605,9 @@ def run_scenario_sharded(
     barrier_timeout: float = 60.0,
     collect_traces: bool = False,
     validate: Optional[bool] = None,
+    live_log: Union[None, str, "object"] = None,
+    heartbeat_interval: float = 1.0,
+    registries: Optional[dict[int, MetricsRegistry]] = None,
 ):
     """Sharded twin of ``run_scenario``: identical mesh layout and schedule."""
     rng_streams = RngStreams(seed)
@@ -425,4 +646,7 @@ def run_scenario_sharded(
         barrier_timeout=barrier_timeout,
         collect_traces=collect_traces,
         validate=validate,
+        live_log=live_log,
+        heartbeat_interval=heartbeat_interval,
+        registries=registries,
     )

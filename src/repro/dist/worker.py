@@ -34,7 +34,14 @@ from ..topology.graph import Topology
 from ..traffic.cbr import CbrSource
 from ..traffic.flows import FlowSpec
 from ..traffic.sink import PacketSink
-from .proxy import BoundaryChannel, MessageRelay, PacketRelay, Relay, make_message_tap
+from .proxy import (
+    BoundaryChannel,
+    MessageRelay,
+    PacketRelay,
+    Relay,
+    ShardHeartbeat,
+    make_message_tap,
+)
 
 __all__ = ["ShardPlan", "ShardOutput", "ShardHost"]
 
@@ -255,17 +262,39 @@ class ShardHost:
         )
         scheduler.run_driver(ScriptedDriver(local_events), until=plan.end_at)
 
+        # --- progress accounting (heartbeats) -------------------------------
+        # Cumulative counters harvested into a ShardHeartbeat on every
+        # window; pure bookkeeping outside the engine, so an instrumented
+        # run stays byte-identical (the transparency tests pin this).
+        self._relays_out = 0
+        self._relays_in = 0
+        self._busy_s = 0.0
+        self._created_wall = _wallclock.perf_counter()
+
     # ----------------------------------------------------------- window API
 
     def peek_time(self) -> Optional[float]:
         return self.sim.peek_time()
 
-    def run_until(self, barrier: float) -> list[Relay]:
-        """Run all events at or before ``barrier``; drain and return relays."""
+    def run_until(self, barrier: float) -> tuple[list[Relay], ShardHeartbeat]:
+        """Run all events at or before ``barrier``; drain relays + heartbeat."""
+        t0 = _wallclock.perf_counter()
         self.sim.run(until=barrier)
+        self._busy_s += _wallclock.perf_counter() - t0
         out = list(self.outbox)
         self.outbox.clear()
-        return out
+        self._relays_out += len(out)
+        heartbeat = ShardHeartbeat(
+            shard=self.plan.shard_index,
+            barrier=barrier,
+            clock=self.sim.now,
+            events=self.sim.events_processed,
+            relays_out=self._relays_out,
+            relays_in=self._relays_in,
+            busy_s=self._busy_s,
+            wall_s=_wallclock.perf_counter() - self._created_wall,
+        )
+        return out, heartbeat
 
     def inject(self, relays: list[Relay]) -> None:
         """Register relayed cross-shard arrivals (already coordinator-sorted).
@@ -275,6 +304,7 @@ class ShardHost:
         instant — the relay's own event or an internal arrival's gate —
         replays the whole slot in canonical order.
         """
+        self._relays_in += len(relays)
         for relay in relays:
             handle = self.sim.schedule_call_at(
                 relay.arrive_at, self._deliver_relay, relay

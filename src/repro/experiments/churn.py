@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import random
+import time as _time
 from typing import Optional
 
 from ..metrics.convergence import (
@@ -101,6 +102,7 @@ def run_churn_scenario(
     monitors: Optional[object] = None,
     recorder: Optional[FlightRecorder] = None,
     dump_dir: Optional[str] = None,
+    live_log=None,
 ) -> ScenarioResult:
     """Run one mobility-churn experiment; ``config.churn`` must be set.
 
@@ -108,6 +110,11 @@ def run_churn_scenario(
     field is static during warm-up and steady state, like the paper's
     pre-failure phase) and the run ends at ``config.end_time``.  The result
     reports ``degree=0`` — a spatial field has no fixed mesh degree.
+
+    ``live_log`` streams phase-boundary heartbeats exactly like
+    :func:`~repro.experiments.scenario.run_scenario`: records are written
+    strictly between ``sim.run`` calls, so metrics are byte-identical with
+    the log on or off.
     """
     if config.churn is None:
         raise ValueError("run_churn_scenario requires config.churn")
@@ -118,6 +125,30 @@ def run_churn_scenario(
         from ..validation.monitors import MonitorSuite
 
         monitors = MonitorSuite()
+
+    from ..obs.live import open_live_log
+
+    log, owns_log = open_live_log(
+        live_log,
+        run="churn",
+        meta={
+            "protocol": protocol,
+            "seed": seed,
+            "model": churn.model,
+            "n_nodes": churn.n_nodes,
+        },
+    )
+    log_started = _time.perf_counter()
+
+    def beat(phase: str) -> None:
+        if log is not None:
+            log.heartbeat(
+                shard=0,
+                clock=sim.now,
+                events=sim.events_processed,
+                wall_s=_time.perf_counter() - log_started,
+                phase=phase,
+            )
 
     rng_streams = RngStreams(seed)
     model = make_mobility_model(churn, rng_streams.stream("mobility"))
@@ -231,7 +262,15 @@ def run_churn_scenario(
             )
         )
 
+    # Split at the same instants run_scenario uses; repeated run(until=...)
+    # calls are contiguous (pinned by the engine tests), so the event order
+    # matches a single run(until=end_at) and the beats cost nothing.
+    sim.run(until=min(first_at, end_at))
+    beat("steady")
+    sim.run(until=min(first_detect, end_at))
+    beat("churn")
     sim.run(until=end_at)
+    beat("settle")
 
     deliveries = sink.stats.deliveries
     waves = attribute_waves(detect_times, net_watcher.change_times, end_at)
@@ -311,4 +350,10 @@ def run_churn_scenario(
     drop_counter.close()
     message_counter.close()
     overhead_counter.close()
+    if log is not None:
+        for finding in result.violations:
+            log.violation(str(finding))
+        log.end(ok=not result.violations)
+        if owns_log:
+            log.close()
     return result

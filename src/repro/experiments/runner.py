@@ -540,6 +540,7 @@ def run_sweep(
     progress: Optional[Callable[[int, int, str], None]] = None,
     telemetry=None,
     dump_dir: Optional[str] = None,
+    live_log=None,
 ) -> dict[tuple[str, int], PointResult]:
     """Full (protocol x degree) sweep; keys are (protocol, degree).
 
@@ -578,9 +579,31 @@ def run_sweep(
     dumps land next to the sweep checkpoint they explain;
     ``ScenarioResult.dump_path`` (persisted in the shard log) names each
     file.
+
+    Live telemetry: ``live_log`` (a path or an open
+    :class:`~repro.obs.live.RunEventLog`) streams the sweep's lifecycle as
+    it executes — a ``sweep begin`` record, one ``seed`` record per
+    completed task (with done/total progress), a ``violation`` record per
+    monitor finding, and a ``sweep end`` record — so ``python -m repro
+    watch`` can follow the sweep from another process.  Records ride the
+    same ``on_outcome``/``on_timing`` callbacks the store and telemetry
+    use; the simulations themselves are untouched (resumed-sweep identity
+    and golden metrics stay byte-identical).
     """
+    from ..obs.live import open_live_log
+
     config = config or ExperimentConfig.quick()
     grid = config.grid()
+    log, owns_log = open_live_log(
+        live_log,
+        run="sweep",
+        meta={
+            "protocols": list(config.protocols),
+            "degrees": list(config.degrees),
+            "runs": config.runs,
+        },
+    )
+    sweep_started = time.perf_counter()
 
     if store is not None:
         from .store import SweepStore
@@ -602,11 +625,23 @@ def run_sweep(
             total_tasks=len(grid),
             resumed_tasks=len(grid) - len(todo),
         )
+    if log is not None:
+        log.sweep(
+            "begin",
+            total_tasks=len(grid),
+            resumed_tasks=len(grid) - len(todo),
+            workers=workers,
+        )
 
     def on_outcome(task: Task, outcome: Outcome) -> None:
         outcomes[task] = outcome
         if store is not None:
             store.append(outcome)
+        if log is not None and not isinstance(outcome, SweepFailure):
+            for finding in outcome.violations:
+                log.violation(
+                    f"{task[0]} degree={task[1]} seed={task[2]}: {finding}"
+                )
         if progress is not None:
             label = "failed" if isinstance(outcome, SweepFailure) else "ok"
             progress(
@@ -624,6 +659,20 @@ def run_sweep(
         attempts: int = 1,
         timed_out: bool = False,
     ) -> None:
+        if log is not None:
+            # on_outcome has already run for this task (record() orders the
+            # callbacks), so len(outcomes) counts it as done.
+            log.seed(
+                protocol,
+                degree,
+                seed,
+                ok=ok,
+                elapsed_s=elapsed_s,
+                attempts=attempts,
+                timed_out=timed_out,
+                done=len(outcomes),
+                total=len(grid),
+            )
         if telemetry is None:
             return
         timing = telemetry.record(
@@ -647,7 +696,11 @@ def run_sweep(
                 _execute_supervised(
                     todo, config, workers, timeout, retries, retry_backoff,
                     on_outcome,
-                    on_timing=None if telemetry is None else on_timing,
+                    on_timing=(
+                        None
+                        if telemetry is None and log is None
+                        else on_timing
+                    ),
                     dump_dir=dump_dir,
                 )
     except (KeyboardInterrupt, SystemExit):
@@ -658,9 +711,19 @@ def run_sweep(
             telemetry.end()
         if store is not None:
             store.close()
+        if log is not None:
+            log.sweep("end", wall_s=time.perf_counter() - sweep_started)
+            log.end(ok=False, error="interrupted")
+            if owns_log:
+                log.close()
         raise
     if telemetry is not None:
         telemetry.end()
     if store is not None:
         store.close()
+    if log is not None:
+        log.sweep("end", wall_s=time.perf_counter() - sweep_started)
+        log.end(ok=True)
+        if owns_log:
+            log.close()
     return _assemble(grid, outcomes, config)

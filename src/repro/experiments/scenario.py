@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -284,6 +285,7 @@ def run_scenario(
     recorder: Optional[FlightRecorder] = None,
     dump_dir: Optional[str] = None,
     driver_factory: Optional[Callable[[ScenarioPlan], TopologyDriver]] = None,
+    live_log=None,
 ) -> ScenarioResult:
     """Run one complete experiment and return all measurements.
 
@@ -314,6 +316,13 @@ def run_scenario(
     created on the fly when only ``dump_dir`` is given) and
     ``ScenarioResult.dump_path`` names the file.  Like ``obs``, recording is
     read-only and does not perturb results.
+
+    ``live_log`` (a path or an open :class:`~repro.obs.live.RunEventLog`)
+    streams progress records: single-process runs emit one heartbeat at
+    each phase boundary (the log is written strictly *between*
+    ``sim.run`` calls, so the event stream is untouched); sharded runs
+    delegate to the coordinator's window-throttled heartbeats.  Metrics
+    stay byte-identical either way (pinned by the transparency tests).
     """
     config = config or ExperimentConfig.quick()
     if config.shards > 1:
@@ -335,7 +344,9 @@ def run_scenario(
             )
         from ..dist.runner import run_scenario_sharded
 
-        return run_scenario_sharded(protocol, degree, seed, config)
+        return run_scenario_sharded(
+            protocol, degree, seed, config, live_log=live_log
+        )
     if recorder is None and dump_dir is not None:
         recorder = FlightRecorder()
     if monitors is None and config.validate:
@@ -343,6 +354,27 @@ def run_scenario(
 
         monitors = MonitorSuite()
     profiler = obs.profiler if obs is not None else NULL_PROFILER
+
+    from ..obs.live import open_live_log
+
+    log, owns_log = open_live_log(
+        live_log,
+        run="scenario",
+        meta={"protocol": protocol, "degree": degree, "seed": seed},
+    )
+    log_started = time.perf_counter()
+
+    def beat(phase: str, sim) -> None:
+        """Phase-boundary heartbeat — written between sim.run calls only."""
+        if log is not None:
+            log.heartbeat(
+                shard=0,
+                clock=sim.now,
+                events=sim.events_processed,
+                wall_s=time.perf_counter() - log_started,
+                phase=phase,
+            )
+
     rng_streams = RngStreams(seed)
     scenario_rng = rng_streams.stream("scenario")
 
@@ -390,6 +422,7 @@ def run_scenario(
             for node in network.iter_nodes():
                 assert node.protocol is not None
                 node.protocol.warm_start(topo)
+    beat("warmup", sim)
 
     traffic_start = base + config.traffic_start
     fail_at = base + config.fail_time
@@ -484,10 +517,13 @@ def run_scenario(
     # test pins this).
     with profiler.span("steady", sim=sim):
         sim.run(until=min(first_at, end_at))
+    beat("steady", sim)
     with profiler.span("failure", sim=sim):
         sim.run(until=min(first_detect, end_at))
+    beat("failure", sim)
     with profiler.span("convergence", sim=sim):
         sim.run(until=end_at)
+    beat("convergence", sim)
 
     with profiler.span("drain", sim=sim):
         deliveries = sink.stats.deliveries
@@ -580,4 +616,10 @@ def run_scenario(
     overhead_counter.close()
     if obs is not None:
         obs.finalize(sim=sim, network=network, bus=bus)
+    if log is not None:
+        for finding in result.violations:
+            log.violation(str(finding))
+        log.end(ok=not result.violations)
+        if owns_log:
+            log.close()
     return result

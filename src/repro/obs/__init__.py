@@ -23,9 +23,28 @@ A fourth piece, the forensic layer (:mod:`repro.obs.flight`): the
 per-packet autopsies and the causal convergence timeline, and snapshots
 post-mortem dumps when a validation monitor fires.  ``python -m repro
 trace`` is its CLI; see ``docs/tracing.md``.
+
+A fifth, the streaming layer (:mod:`repro.obs.live`): the
+:class:`RunEventLog` is an append-only JSONL run-event log (shard/sweep
+heartbeats, barrier windows, per-seed lifecycle, stalls) written while a
+run executes; ``python -m repro watch`` tails it from another process.
+See ``docs/live.md``.
 """
 
 from .collect import ProtocolTraffic, RunObservation
+from .live import (
+    LOG_SCHEMA_VERSION,
+    LiveSummary,
+    RunEventLog,
+    check_log,
+    format_live,
+    open_live_log,
+    read_log,
+    shard_lane_events,
+    summarize_log,
+    watch,
+    write_log,
+)
 from .flight import (
     CausalTimeline,
     FlightRecorder,
@@ -88,4 +107,15 @@ __all__ = [
     "build_report",
     "check_report",
     "format_report",
+    "LOG_SCHEMA_VERSION",
+    "LiveSummary",
+    "RunEventLog",
+    "check_log",
+    "format_live",
+    "open_live_log",
+    "read_log",
+    "shard_lane_events",
+    "summarize_log",
+    "watch",
+    "write_log",
 ]

@@ -807,6 +807,7 @@ def perfetto_trace(
     route_changes: Iterable[RouteChangeRecord] = (),
     link_events: Iterable[LinkEventRecord] = (),
     messages: Iterable[MessageRecord] = (),
+    extra: Iterable[dict] = (),
 ) -> dict:
     """Chrome trace-event JSON for the given records.
 
@@ -815,6 +816,12 @@ def perfetto_trace(
     message sends, and link transitions become instant events on the node
     where they happened.  ``ts`` is microseconds and monotonic, so the file
     loads directly in Perfetto / ``chrome://tracing``.
+
+    ``extra`` takes pre-built Chrome trace events on additional lanes —
+    e.g. the per-shard window/barrier lanes from
+    :func:`repro.obs.live.shard_lane_events` — on the same simulated-time
+    axis.  Metadata (``ph: "M"``) events keep their position ahead of the
+    merged, ts-sorted event stream.
     """
     packets = list(packets)
     route_changes = list(route_changes)
@@ -896,6 +903,12 @@ def perfetto_trace(
                 "args": {"peer": e.node_b, "up": e.up},
             }
         )
+    extra_metadata: list[dict] = []
+    for ev in extra:
+        if ev.get("ph") == "M":
+            extra_metadata.append(ev)
+        else:
+            events.append(ev)
     events.sort(key=lambda ev: ev["ts"])
 
     metadata = [
@@ -908,7 +921,7 @@ def perfetto_trace(
             "args": {"name": f"node {node}"},
         }
         for node in sorted(nodes)
-    ]
+    ] + extra_metadata
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 

@@ -1,0 +1,887 @@
+"""Live run telemetry: a streaming run-event log plus live health views.
+
+A sharded run (``repro.dist``) or a multi-hour sweep is a black box while
+it executes: per-shard progress, barrier waits, relay volume, and stall
+causes are invisible until the run ends.  This module is the streaming
+counterpart of the post-hoc observability layers (:mod:`repro.obs.registry`,
+:mod:`repro.obs.flight`):
+
+* :class:`RunEventLog` — an append-only JSONL **run-event log**
+  (``schema_version`` 1) with typed records: shard heartbeats, coordinator
+  window/barrier summaries, per-seed sweep lifecycle, violations, stalls.
+  Every record is flushed as written, so another process can tail the file
+  while the run is still executing.  ``read_log -> write_log`` is
+  byte-identical, and :func:`check_log` self-validates a log the same way
+  ``check_report``/``check_dump`` validate their documents.
+* :func:`summarize_log` / :func:`format_live` — fold a log (complete or
+  in-flight) into a per-shard / per-sweep health view; ``python -m repro
+  watch <log>`` renders it in place, from the file alone, so it works on a
+  run owned by another process.
+* :func:`shard_lane_events` — Chrome trace events giving every shard its
+  own Perfetto lane (window spans, relay injections, barrier-wait
+  fractions), merged with the packet/FIB lanes by
+  :func:`repro.dist.merge.shard_perfetto_trace`.
+
+The invariant inherited from the registry and the flight recorder: logging
+is **harvest-only**.  Producers never consult the log; the writers read
+already-maintained counters (``Simulator.events_processed``, relay
+counters, sweep outcome tallies) strictly *between* engine events, so a
+logged run stays byte-identical to an unlogged one (pinned by the
+transparency tests).  See ``docs/live.md``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, TextIO, Union
+
+__all__ = [
+    "LOG_SCHEMA_VERSION",
+    "LOG_KIND",
+    "RECORD_KINDS",
+    "RunEventLog",
+    "open_live_log",
+    "read_log",
+    "write_log",
+    "check_log",
+    "ShardView",
+    "SweepView",
+    "LiveSummary",
+    "summarize_log",
+    "format_live",
+    "watch",
+    "shard_lane_events",
+    "SHARD_LANE_PID",
+    "COORDINATOR_PID",
+]
+
+LOG_SCHEMA_VERSION = 1
+LOG_KIND = "repro-run-log"
+
+#: Every record kind a version-1 log may contain.  ``header`` must be the
+#: first record (and only the first); everything else may appear anywhere.
+RECORD_KINDS = (
+    "header",
+    "heartbeat",
+    "window",
+    "seed",
+    "sweep",
+    "shard-end",
+    "violation",
+    "stall",
+    "end",
+)
+
+#: Run flavors a header may declare (what produced the log).
+RUN_KINDS = ("scenario", "shard", "sweep", "churn")
+
+#: Perfetto lane ids: shard ``i`` renders as process ``SHARD_LANE_PID + i``
+#: so lanes never collide with node ids (node pids are small integers).
+SHARD_LANE_PID = 1_000_000
+COORDINATOR_PID = 999_999
+
+
+# --------------------------------------------------------------------------
+# writer
+# --------------------------------------------------------------------------
+
+
+class RunEventLog:
+    """Append-only JSONL writer for one run's event log.
+
+    Every ``append`` writes one complete line and flushes it, so a crash
+    loses at most the in-flight record and a concurrent reader never sees a
+    torn prefix (:func:`read_log` additionally tolerates a torn tail).  The
+    header line is written by the constructor; the writer is otherwise
+    schema-agnostic — producers call the typed convenience methods below.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        run: str = "scenario",
+        meta: Optional[dict] = None,
+    ) -> None:
+        if run not in RUN_KINDS:
+            raise ValueError(f"unknown run kind {run!r} (one of {RUN_KINDS})")
+        self.path = os.fspath(path)
+        self._file: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
+        self.append(
+            "header",
+            schema_version=LOG_SCHEMA_VERSION,
+            log_kind=LOG_KIND,
+            run=run,
+            meta=dict(meta or {}),
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def append(self, kind: str, **fields) -> None:
+        """Write one ``{"kind": kind, **fields}`` record and flush it."""
+        if self._file is None:
+            raise ValueError(f"run-event log {self.path!r} is closed")
+        record = {"kind": kind}
+        record.update(fields)
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+
+    # ---------------------------------------------------- typed convenience
+
+    def heartbeat(
+        self,
+        shard: int,
+        clock: float,
+        events: int,
+        barrier: Optional[float] = None,
+        relays_out: Optional[int] = None,
+        relays_in: Optional[int] = None,
+        busy_s: Optional[float] = None,
+        wall_s: Optional[float] = None,
+        phase: Optional[str] = None,
+    ) -> None:
+        """One shard's (or a 1-process run's) progress snapshot.
+
+        ``clock``/``events`` are cumulative; the optional fields only make
+        sense under the barrier protocol (``barrier`` = the window just
+        completed, relay counts are cumulative, ``busy_s``/``wall_s`` are
+        the worker's cumulative simulate/total wall seconds — their gap is
+        barrier wait).  ``phase`` labels 1-process phase-boundary beats.
+        """
+        fields: dict = {"shard": shard, "clock": clock, "events": events}
+        if barrier is not None:
+            fields["barrier"] = barrier
+        if relays_out is not None:
+            fields["relays_out"] = relays_out
+        if relays_in is not None:
+            fields["relays_in"] = relays_in
+        if busy_s is not None:
+            fields["busy_s"] = busy_s
+        if wall_s is not None:
+            fields["wall_s"] = wall_s
+        if phase is not None:
+            fields["phase"] = phase
+        self.append("heartbeat", **fields)
+
+    def window(
+        self,
+        index: int,
+        e_min: Optional[float],
+        barrier: float,
+        n_windows: int,
+        n_relays: int,
+        wall_s: float,
+    ) -> None:
+        """Coordinator barrier-window summary (coalesced; see docs/live.md).
+
+        ``index`` counts emitted records; ``n_windows`` and ``n_relays``
+        cover every barrier window since the previous record, whose
+        coordinator wall-clock cost was ``wall_s`` seconds.
+        """
+        self.append(
+            "window",
+            index=index,
+            e_min=e_min,
+            barrier=barrier,
+            n_windows=n_windows,
+            n_relays=n_relays,
+            wall_s=wall_s,
+        )
+
+    def seed(
+        self,
+        protocol: str,
+        degree: int,
+        seed: int,
+        ok: bool,
+        elapsed_s: Optional[float],
+        attempts: int,
+        timed_out: bool,
+        done: int,
+        total: int,
+    ) -> None:
+        """One sweep task's lifecycle record (mirrors ``SeedTiming``)."""
+        self.append(
+            "seed",
+            protocol=protocol,
+            degree=degree,
+            seed=seed,
+            ok=ok,
+            elapsed_s=elapsed_s,
+            attempts=attempts,
+            timed_out=timed_out,
+            done=done,
+            total=total,
+        )
+
+    def sweep(self, phase: str, **fields) -> None:
+        """Sweep lifecycle marker; ``phase`` is ``"begin"`` or ``"end"``."""
+        if phase not in ("begin", "end"):
+            raise ValueError(f"sweep phase must be begin|end, got {phase!r}")
+        self.append("sweep", phase=phase, **fields)
+
+    def shard_end(
+        self, shard: int, events: int, relays_out: int, relays_in: int
+    ) -> None:
+        """Final per-shard totals as the coordinator reports them."""
+        self.append(
+            "shard-end",
+            shard=shard,
+            events=events,
+            relays_out=relays_out,
+            relays_in=relays_in,
+        )
+
+    def violation(self, text: str) -> None:
+        self.append("violation", text=str(text))
+
+    def stall(
+        self, shard: int, window: float, reason: str, heartbeat: Optional[dict]
+    ) -> None:
+        """A shard hung or died; ``heartbeat`` is its last snapshot (or None)."""
+        self.append(
+            "stall", shard=shard, window=window, reason=reason,
+            heartbeat=heartbeat,
+        )
+
+    def end(self, ok: bool, **fields) -> None:
+        self.append("end", ok=ok, **fields)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RunEventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_live_log(
+    target: Union[None, str, os.PathLike, RunEventLog],
+    run: str,
+    meta: Optional[dict] = None,
+) -> tuple[Optional[RunEventLog], bool]:
+    """Coerce a ``--live-log`` argument into ``(log, owns)``.
+
+    A path opens a fresh log (caller should close it: ``owns`` is True); an
+    existing :class:`RunEventLog` is used as-is (``owns`` False) so one log
+    can span several runs; None passes through.
+    """
+    if target is None:
+        return None, False
+    if isinstance(target, RunEventLog):
+        return target, False
+    return RunEventLog(target, run=run, meta=meta), True
+
+
+# --------------------------------------------------------------------------
+# reader + self-validation
+# --------------------------------------------------------------------------
+
+
+def read_log(path: Union[str, os.PathLike]) -> list[dict]:
+    """Read a run-event log, tolerating the torn tail of a live writer.
+
+    Reading stops at the first line that is not complete valid JSON — the
+    same convention as the sweep store — so tailing a log mid-append never
+    raises.
+    """
+    records: list[dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as f:
+        for line in f:
+            if not line.endswith("\n"):
+                break  # partial tail: the writer is mid-append
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return records
+
+
+def write_log(records: Iterable[dict], path: Union[str, os.PathLike]) -> None:
+    """Write records as JSONL; ``read_log -> write_log`` is byte-identical."""
+    with open(os.fspath(path), "w", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(record) + "\n")
+
+
+def _is_num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _check_fields(
+    record: dict, index: int, spec: dict[str, tuple], problems: list[str]
+) -> bool:
+    """Validate required fields of one record against ``(checker, label)``."""
+    ok = True
+    for name, (checker, label) in spec.items():
+        value = record.get(name)
+        if not checker(value):
+            problems.append(
+                f"records[{index}] ({record.get('kind')}): {name!r} must be "
+                f"{label}, got {value!r}"
+            )
+            ok = False
+    return ok
+
+
+_HEARTBEAT_SPEC = {
+    "shard": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "clock": (_is_num, "a number"),
+    "events": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+}
+_WINDOW_SPEC = {
+    "index": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "barrier": (_is_num, "a number"),
+    "n_windows": (lambda v: _is_int(v) and v >= 1, "an int >= 1"),
+    "n_relays": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "wall_s": (lambda v: _is_num(v) and v >= 0, "a number >= 0"),
+}
+_SEED_SPEC = {
+    "protocol": (lambda v: isinstance(v, str) and v != "", "a non-empty string"),
+    "degree": (_is_int, "an int"),
+    "seed": (_is_int, "an int"),
+    "ok": (lambda v: isinstance(v, bool), "a bool"),
+    "attempts": (lambda v: _is_int(v) and v >= 1, "an int >= 1"),
+    "timed_out": (lambda v: isinstance(v, bool), "a bool"),
+    "done": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "total": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+}
+_SHARD_END_SPEC = {
+    "shard": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "events": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "relays_out": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "relays_in": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+}
+_STALL_SPEC = {
+    "shard": (lambda v: _is_int(v) and v >= 0, "an int >= 0"),
+    "window": (_is_num, "a number"),
+    "reason": (lambda v: isinstance(v, str) and v != "", "a non-empty string"),
+}
+
+
+def check_log(records: Iterable[dict]) -> list[str]:
+    """Validate a run-event log; returns human-readable problems (empty = ok).
+
+    Checks the header (first record, version, run kind), every record's
+    kind and required fields, per-shard heartbeat monotonicity (cumulative
+    event counts and clocks never go backwards), window-record index
+    monotonicity, and sweep ``done <= total`` sanity.  Mirrors
+    ``check_report``/``check_dump``: corruption is reported, never repaired.
+    """
+    problems: list[str] = []
+    records = list(records)
+    if not records:
+        return ["log is empty (no header record)"]
+
+    header = records[0]
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        problems.append(
+            f"records[0]: first record must be the header, got "
+            f"{header.get('kind') if isinstance(header, dict) else header!r}"
+        )
+    else:
+        if header.get("schema_version") != LOG_SCHEMA_VERSION:
+            problems.append(
+                f"header: schema_version must be {LOG_SCHEMA_VERSION}, got "
+                f"{header.get('schema_version')!r}"
+            )
+        if header.get("log_kind") != LOG_KIND:
+            problems.append(
+                f"header: log_kind must be {LOG_KIND!r}, got "
+                f"{header.get('log_kind')!r}"
+            )
+        if header.get("run") not in RUN_KINDS:
+            problems.append(
+                f"header: run must be one of {RUN_KINDS}, got "
+                f"{header.get('run')!r}"
+            )
+        if not isinstance(header.get("meta"), dict):
+            problems.append("header: meta must be an object")
+
+    last_beat: dict[int, tuple[float, int]] = {}
+    last_window_index: Optional[int] = None
+    for i, record in enumerate(records[1:], start=1):
+        if not isinstance(record, dict):
+            problems.append(f"records[{i}]: must be an object")
+            continue
+        kind = record.get("kind")
+        if kind not in RECORD_KINDS:
+            problems.append(f"records[{i}]: unknown kind {kind!r}")
+            continue
+        if kind == "header":
+            problems.append(f"records[{i}]: duplicate header")
+        elif kind == "heartbeat":
+            if not _check_fields(record, i, _HEARTBEAT_SPEC, problems):
+                continue
+            shard = record["shard"]
+            prior = last_beat.get(shard)
+            if prior is not None:
+                if record["clock"] < prior[0]:
+                    problems.append(
+                        f"records[{i}]: shard {shard} clock {record['clock']} "
+                        f"goes backwards (previous {prior[0]})"
+                    )
+                if record["events"] < prior[1]:
+                    problems.append(
+                        f"records[{i}]: shard {shard} event count "
+                        f"{record['events']} goes backwards (previous {prior[1]})"
+                    )
+            last_beat[shard] = (record["clock"], record["events"])
+        elif kind == "window":
+            if not _check_fields(record, i, _WINDOW_SPEC, problems):
+                continue
+            if last_window_index is not None and record["index"] <= last_window_index:
+                problems.append(
+                    f"records[{i}]: window index {record['index']} does not "
+                    f"increase (previous {last_window_index})"
+                )
+            last_window_index = record["index"]
+        elif kind == "seed":
+            if _check_fields(record, i, _SEED_SPEC, problems):
+                if record["done"] > record["total"]:
+                    problems.append(
+                        f"records[{i}]: done {record['done']} exceeds total "
+                        f"{record['total']}"
+                    )
+                if record.get("elapsed_s") is not None and not _is_num(
+                    record["elapsed_s"]
+                ):
+                    problems.append(
+                        f"records[{i}]: elapsed_s must be a number or null, "
+                        f"got {record['elapsed_s']!r}"
+                    )
+        elif kind == "sweep":
+            if record.get("phase") not in ("begin", "end"):
+                problems.append(
+                    f"records[{i}]: sweep phase must be begin|end, got "
+                    f"{record.get('phase')!r}"
+                )
+        elif kind == "shard-end":
+            _check_fields(record, i, _SHARD_END_SPEC, problems)
+        elif kind == "violation":
+            if not isinstance(record.get("text"), str):
+                problems.append(f"records[{i}]: violation text must be a string")
+        elif kind == "stall":
+            _check_fields(record, i, _STALL_SPEC, problems)
+        elif kind == "end":
+            if not isinstance(record.get("ok"), bool):
+                problems.append(f"records[{i}]: end 'ok' must be a bool")
+    return problems
+
+
+# --------------------------------------------------------------------------
+# live summary (the watch view)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShardView:
+    """Rolling view of one shard (or the single process of a 1-shard run)."""
+
+    shard: int
+    clock: float = 0.0
+    events: int = 0
+    relays_out: int = 0
+    relays_in: int = 0
+    #: None until a heartbeat carries ``busy_s`` (1-process runs never do —
+    #: there is no barrier to wait at, so the column renders blank).
+    busy_s: Optional[float] = None
+    wall_s: float = 0.0
+    n_beats: int = 0
+    phase: Optional[str] = None
+    #: Events per wall second over the latest heartbeat interval (None until
+    #: two beats with wall_s have been seen).
+    rate: Optional[float] = None
+
+    @property
+    def barrier_wait_fraction(self) -> Optional[float]:
+        """Fraction of wall time spent waiting at barriers, not simulating."""
+        if self.busy_s is None or self.wall_s <= 0:
+            return None
+        return max(0.0, 1.0 - self.busy_s / self.wall_s)
+
+
+@dataclass
+class SweepView:
+    """Rolling view of a sweep's task lifecycle."""
+
+    total: int = 0
+    done: int = 0
+    failed: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    resumed: int = 0
+    workers: int = 1
+    last_label: Optional[str] = None
+    wall_s: Optional[float] = None
+
+
+@dataclass
+class LiveSummary:
+    """Everything the watch view renders, folded from a (partial) log."""
+
+    run: str = "scenario"
+    meta: dict = field(default_factory=dict)
+    shards: dict[int, ShardView] = field(default_factory=dict)
+    shard_totals: dict[int, dict] = field(default_factory=dict)
+    n_windows: int = 0
+    n_relays: int = 0
+    last_barrier: Optional[float] = None
+    sweep: Optional[SweepView] = None
+    violations: list[str] = field(default_factory=list)
+    stall: Optional[dict] = None
+    ended: bool = False
+    end_ok: Optional[bool] = None
+    n_records: int = 0
+    problems: list[str] = field(default_factory=list)
+
+
+def summarize_log(records: Iterable[dict]) -> LiveSummary:
+    """Fold a log (complete or mid-run) into a :class:`LiveSummary`.
+
+    Tolerant by design — the watch CLI must render *something* for any
+    prefix of a valid log — but header problems are surfaced on
+    ``summary.problems`` so a corrupt log is visibly corrupt.
+    """
+    summary = LiveSummary()
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        summary.n_records += 1
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("schema_version") != LOG_SCHEMA_VERSION:
+                summary.problems.append(
+                    f"unsupported schema_version "
+                    f"{record.get('schema_version')!r}"
+                )
+            summary.run = record.get("run", "scenario")
+            meta = record.get("meta")
+            summary.meta = meta if isinstance(meta, dict) else {}
+        elif kind == "heartbeat":
+            shard = record.get("shard")
+            if not _is_int(shard):
+                continue
+            view = summary.shards.setdefault(shard, ShardView(shard=shard))
+            new_wall = record.get("wall_s")
+            new_events = record.get("events", view.events)
+            if (
+                _is_num(new_wall)
+                and view.n_beats
+                and new_wall > view.wall_s
+                and _is_int(new_events)
+            ):
+                view.rate = (new_events - view.events) / (new_wall - view.wall_s)
+            view.clock = record.get("clock", view.clock)
+            view.events = new_events
+            view.relays_out = record.get("relays_out", view.relays_out)
+            view.relays_in = record.get("relays_in", view.relays_in)
+            view.busy_s = record.get("busy_s", view.busy_s)
+            if _is_num(new_wall):
+                view.wall_s = new_wall
+            view.phase = record.get("phase", view.phase)
+            view.n_beats += 1
+        elif kind == "window":
+            summary.n_windows += record.get("n_windows", 1)
+            summary.n_relays += record.get("n_relays", 0)
+            summary.last_barrier = record.get("barrier", summary.last_barrier)
+        elif kind == "seed":
+            sweep = summary.sweep or SweepView()
+            summary.sweep = sweep
+            sweep.total = record.get("total", sweep.total)
+            sweep.done = record.get("done", sweep.done)
+            if record.get("ok") is False:
+                sweep.failed += 1
+            if record.get("timed_out") is True:
+                sweep.timed_out += 1
+            attempts = record.get("attempts")
+            if _is_int(attempts) and attempts > 1:
+                sweep.retried += attempts - 1
+            sweep.last_label = (
+                f"{record.get('protocol')} degree={record.get('degree')} "
+                f"seed={record.get('seed')}: "
+                f"{'ok' if record.get('ok') else 'FAILED'}"
+            )
+        elif kind == "sweep":
+            sweep = summary.sweep or SweepView()
+            summary.sweep = sweep
+            if record.get("phase") == "begin":
+                sweep.total = record.get("total_tasks", sweep.total)
+                sweep.resumed = record.get("resumed_tasks", sweep.resumed)
+                sweep.workers = record.get("workers", sweep.workers)
+            else:
+                sweep.wall_s = record.get("wall_s", sweep.wall_s)
+        elif kind == "shard-end":
+            shard = record.get("shard")
+            if _is_int(shard):
+                summary.shard_totals[shard] = {
+                    "events": record.get("events"),
+                    "relays_out": record.get("relays_out"),
+                    "relays_in": record.get("relays_in"),
+                }
+        elif kind == "violation":
+            summary.violations.append(str(record.get("text")))
+        elif kind == "stall":
+            summary.stall = record
+        elif kind == "end":
+            summary.ended = True
+            summary.end_ok = record.get("ok")
+    return summary
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    if rate is None:
+        return "      --"
+    if rate >= 1e6:
+        return f"{rate / 1e6:6.2f}M"
+    if rate >= 1e3:
+        return f"{rate / 1e3:6.1f}k"
+    return f"{rate:7.0f}"
+
+
+def format_live(summary: LiveSummary) -> str:
+    """Render one :class:`LiveSummary` as the in-place watch view."""
+    lines: list[str] = []
+    meta = " ".join(
+        f"{k}={v}" for k, v in sorted(summary.meta.items()) if not isinstance(v, dict)
+    )
+    status = "ENDED" if summary.ended else "running"
+    if summary.ended and summary.end_ok is False:
+        status = "ENDED (failed)"
+    lines.append(f"{summary.run} run [{status}]" + (f"  {meta}" if meta else ""))
+    for problem in summary.problems:
+        lines.append(f"  LOG PROBLEM: {problem}")
+    if summary.shards:
+        lines.append(
+            f"  {'shard':>5} {'sim clock':>10} {'events':>10} {'ev/s':>8} "
+            f"{'relays out/in':>14} {'barrier wait':>13}"
+        )
+        for shard in sorted(summary.shards):
+            v = summary.shards[shard]
+            wait = v.barrier_wait_fraction
+            wait_s = f"{wait:12.1%}" if wait is not None else "          --"
+            phase = f"  [{v.phase}]" if v.phase else ""
+            lines.append(
+                f"  {shard:>5} {v.clock:>9.3f}s {v.events:>10} "
+                f"{_fmt_rate(v.rate):>8} {v.relays_out:>6}/{v.relays_in:<6} "
+                f"{wait_s}{phase}"
+            )
+    if summary.n_windows:
+        barrier = (
+            f", barrier t={summary.last_barrier:.3f}s"
+            if summary.last_barrier is not None
+            else ""
+        )
+        lines.append(
+            f"  windows: {summary.n_windows} "
+            f"({summary.n_relays} relays{barrier})"
+        )
+    if summary.sweep is not None:
+        s = summary.sweep
+        done = f"{s.done}/{s.total}" if s.total else str(s.done)
+        extras = []
+        if s.failed:
+            extras.append(f"{s.failed} failed")
+        if s.timed_out:
+            extras.append(f"{s.timed_out} timed out")
+        if s.retried:
+            extras.append(f"{s.retried} retried")
+        if s.resumed:
+            extras.append(f"{s.resumed} resumed")
+        tail = f" ({', '.join(extras)})" if extras else ""
+        lines.append(f"  sweep: {done} seeds done{tail}  [{s.workers} worker(s)]")
+        if s.last_label:
+            lines.append(f"  last: {s.last_label}")
+        if s.wall_s is not None:
+            lines.append(f"  wall: {s.wall_s:.2f}s")
+    if summary.stall is not None:
+        st = summary.stall
+        lines.append(
+            f"  STALL: shard {st.get('shard')} at window t={st.get('window')}: "
+            f"{st.get('reason')}"
+        )
+    for v in summary.violations[:5]:
+        lines.append(f"  VIOLATION: {v}")
+    if len(summary.violations) > 5:
+        lines.append(f"  ... {len(summary.violations) - 5} more violation(s)")
+    lines.append(f"  [{summary.n_records} log record(s)]")
+    return "\n".join(lines)
+
+
+def watch(
+    path: Union[str, os.PathLike],
+    once: bool = False,
+    interval: float = 0.5,
+    stream: Optional[TextIO] = None,
+    max_seconds: Optional[float] = None,
+) -> int:
+    """Tail a run-event log and render the live view in place.
+
+    Reads the file alone — no handle on the producing process — so it works
+    on a run executing elsewhere.  ``once`` renders a single frame and
+    returns (the CI smoke mode); otherwise the view refreshes every
+    ``interval`` seconds until the log's ``end`` record appears (or
+    ``max_seconds`` elapses).  Returns 0, or 1 when the log has no valid
+    header.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    started = time.monotonic()
+    prev_lines = 0
+    while True:
+        try:
+            records = read_log(path)
+        except OSError as exc:
+            print(f"cannot read {os.fspath(path)!r}: {exc}", file=out)
+            return 1
+        summary = summarize_log(records)
+        text = format_live(summary)
+        if prev_lines:
+            # Redraw in place: move up over the previous frame.
+            out.write(f"\x1b[{prev_lines}F\x1b[J")
+        out.write(text + "\n")
+        out.flush()
+        prev_lines = text.count("\n") + 1
+        if not records or records[0].get("kind") != "header":
+            print("not a run-event log (no header record)", file=out)
+            return 1
+        if once or summary.ended:
+            return 0
+        if max_seconds is not None and time.monotonic() - started >= max_seconds:
+            return 0
+        time.sleep(interval)
+
+
+# --------------------------------------------------------------------------
+# Perfetto shard lanes
+# --------------------------------------------------------------------------
+
+
+def _us(t: float) -> float:
+    return round(t * 1e6, 3)
+
+
+def shard_lane_events(records: Iterable[dict]) -> list[dict]:
+    """Chrome trace events: one lane per shard plus a coordinator lane.
+
+    Built purely from the run-event log, on the simulated-time axis shared
+    with the packet/FIB lanes: each shard lane shows its window spans
+    (previous heartbeat clock -> clock, with event/relay deltas and the
+    barrier-wait fraction in ``args``) and an instant per relay-injection
+    batch; the coordinator lane shows the coalesced barrier windows.  Merge
+    with the node lanes via
+    :func:`repro.dist.merge.shard_perfetto_trace` (or pass as ``extra=`` to
+    :func:`repro.obs.flight.perfetto_trace`).
+    """
+    events: list[dict] = []
+    lanes: set[int] = set()
+    prev: dict[int, dict] = {}
+    prev_barrier = 0.0
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if kind == "heartbeat" and _is_int(record.get("shard")):
+            shard = record["shard"]
+            pid = SHARD_LANE_PID + shard
+            lanes.add(shard)
+            last = prev.get(shard)
+            clock = record.get("clock", 0.0)
+            start = last.get("clock", 0.0) if last else 0.0
+            delta_events = record.get("events", 0) - (
+                last.get("events", 0) if last else 0
+            )
+            args = {
+                "events": delta_events,
+                "events_total": record.get("events", 0),
+                "relays_out": record.get("relays_out"),
+                "relays_in": record.get("relays_in"),
+            }
+            busy, wall = record.get("busy_s"), record.get("wall_s")
+            if _is_num(busy) and _is_num(wall) and wall > 0:
+                args["barrier_wait_fraction"] = round(1.0 - busy / wall, 4)
+            events.append(
+                {
+                    "name": "window",
+                    "cat": "shard",
+                    "ph": "X",
+                    "ts": _us(start),
+                    "dur": max(0.0, _us(clock) - _us(start)),
+                    "pid": pid,
+                    "tid": pid,
+                    "args": args,
+                }
+            )
+            if last is not None:
+                injected = record.get("relays_in", 0) - last.get("relays_in", 0)
+                if _is_int(injected) and injected > 0:
+                    events.append(
+                        {
+                            "name": f"inject {injected} relay(s)",
+                            "cat": "shard",
+                            "ph": "i",
+                            "ts": _us(clock),
+                            "pid": pid,
+                            "tid": pid,
+                            "s": "t",
+                            "args": {"relays": injected},
+                        }
+                    )
+            prev[shard] = record
+        elif kind == "window" and _is_num(record.get("barrier")):
+            barrier = record["barrier"]
+            events.append(
+                {
+                    "name": f"{record.get('n_windows', 1)} window(s)",
+                    "cat": "coordinator",
+                    "ph": "X",
+                    "ts": _us(prev_barrier),
+                    "dur": max(0.0, _us(barrier) - _us(prev_barrier)),
+                    "pid": COORDINATOR_PID,
+                    "tid": COORDINATOR_PID,
+                    "args": {
+                        "n_relays": record.get("n_relays"),
+                        "wall_s": record.get("wall_s"),
+                    },
+                }
+            )
+            prev_barrier = barrier
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": COORDINATOR_PID,
+            "tid": COORDINATOR_PID,
+            "args": {"name": "coordinator"},
+        }
+    ] + [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": SHARD_LANE_PID + shard,
+            "tid": SHARD_LANE_PID + shard,
+            "args": {"name": f"shard {shard}"},
+        }
+        for shard in sorted(lanes)
+    ]
+    return metadata + events

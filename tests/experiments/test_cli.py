@@ -115,3 +115,44 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "static" in out
+
+
+class TestWatchCommand:
+    def test_run_live_log_then_watch(self, capsys, tmp_path):
+        path = tmp_path / "run.log"
+        assert main([
+            "run", "--protocol", "static", "--degree", "4", "--seed", "1",
+            "--live-log", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["watch", str(path), "--once", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "log schema: ok" in out
+        assert "scenario run [ENDED]" in out
+
+    def test_watch_check_fails_on_corrupt_log(self, capsys, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text('{"kind": "heartbeat", "shard": 0}\n')
+        assert main(["watch", str(path), "--once", "--check"]) == 1
+        assert "LOG SCHEMA PROBLEMS" in capsys.readouterr().out
+
+    def test_shard_perfetto_requires_live_log(self, capsys, tmp_path):
+        rc = main(["shard", "--perfetto", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "--live-log" in capsys.readouterr().err
+
+    def test_shard_live_log_and_perfetto(self, capsys, tmp_path):
+        log = tmp_path / "shard.log"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "shard", "--protocol", "dbf", "--degree", "4", "--seed", "7",
+            "--shards", "2", "--window", "8",
+            "--live-log", str(log), "--perfetto", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run-event log written" in out
+        assert "cross-shard perfetto trace written" in out
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["watch", str(log), "--once", "--check"]) == 0
+        assert "shard run [ENDED]" in capsys.readouterr().out
